@@ -1,0 +1,123 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// one testing.B target per artifact. Each bench runs its experiment harness
+// end to end at a laptop-fast scale; `cmd/repbench -scale medium|paper`
+// grows the datasets toward the paper's sizes.
+package graphrep_test
+
+import (
+	"io"
+	"testing"
+
+	"graphrep"
+	"graphrep/internal/experiments"
+)
+
+// benchScale keeps every artifact bench in the low seconds.
+var benchScale = experiments.Scale{
+	Name: "bench", N: 120, SweepN: []int{60, 120},
+	Ks: []int{5, 10}, Samples: 600, NumVPs: 5, Refines: 2,
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 2: motivation — DisC growth and simple-greedy cost.
+func BenchmarkFig2aDisCGrowth(b *testing.B)   { runExperiment(b, "fig2a") }
+func BenchmarkFig2bSimpleGreedy(b *testing.B) { runExperiment(b, "fig2b") }
+
+// Table 4: answer quality across models.
+func BenchmarkTable4Quality(b *testing.B) { runExperiment(b, "table4") }
+
+// Fig. 5: distance distributions, FPR, query time vs θ, grid sparsity.
+func BenchmarkFig5Distances(b *testing.B)        { runExperiment(b, "fig5ab") }
+func BenchmarkFig5FPR(b *testing.B)              { runExperiment(b, "fig5fh") }
+func BenchmarkFig5QueryTimeVsTheta(b *testing.B) { runExperiment(b, "fig5ik") }
+func BenchmarkFig5lThresholdGap(b *testing.B)    { runExperiment(b, "fig5l") }
+
+// Fig. 6: scaling, refinement, and index costs.
+func BenchmarkFig6SizeScaling(b *testing.B)        { runExperiment(b, "fig6bd") }
+func BenchmarkFig6KScaling(b *testing.B)           { runExperiment(b, "fig6eg") }
+func BenchmarkFig6hDimensions(b *testing.B)        { runExperiment(b, "fig6h") }
+func BenchmarkFig6iRefinement(b *testing.B)        { runExperiment(b, "fig6i") }
+func BenchmarkFig6jRefinementScaling(b *testing.B) { runExperiment(b, "fig6j") }
+func BenchmarkFig6kConstruction(b *testing.B)      { runExperiment(b, "fig6k") }
+func BenchmarkFig6lFootprint(b *testing.B)         { runExperiment(b, "fig6l") }
+
+// Fig. 7: qualitative traditional vs representative comparison.
+func BenchmarkFig7Qualitative(b *testing.B) { runExperiment(b, "fig7") }
+
+// Extensions: design-choice ablations and the empirical (1−1/e) check.
+func BenchmarkExtAblation(b *testing.B) { runExperiment(b, "ext-ablation") }
+func BenchmarkExtApprox(b *testing.B)   { runExperiment(b, "ext-approx") }
+
+// Micro-benchmarks of the public API, for users sizing deployments.
+
+func BenchmarkOpenEngine(b *testing.B) {
+	db, err := graphrep.GenerateDataset("dud", 300, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphrep.Open(db, graphrep.Options{Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKRepresentative(b *testing.B) {
+	db, err := graphrep.GenerateDataset("dud", 300, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := graphrep.FirstQuartileRelevance(db, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.TopKRepresentative(graphrep.Query{Relevance: rel, Theta: 10, K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionRefinement(b *testing.B) {
+	db, err := graphrep.GenerateDataset("dud", 300, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := engine.NewSession(graphrep.FirstQuartileRelevance(db, nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sess.TopK(10, 10); err != nil {
+		b.Fatal(err)
+	}
+	thetas := []float64{9, 11, 10, 8, 12}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.TopK(thetas[i%len(thetas)], 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

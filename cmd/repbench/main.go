@@ -1,0 +1,74 @@
+// Command repbench regenerates the paper's tables and figures. Each
+// experiment id corresponds to one artifact of the evaluation section; see
+// DESIGN.md for the full index.
+//
+// Usage:
+//
+//	repbench -list
+//	repbench -exp table4 -scale small
+//	repbench -exp all -scale medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"graphrep/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale = flag.String("scale", "small", "scale: small, medium, or paper")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		out   = flag.String("out", "", "also write output to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	s, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			if err := e.Run(w, s); err != nil {
+				fatal(fmt.Errorf("%s: %w", e.ID, err))
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q; try -list", *exp))
+	}
+	if err := e.Run(w, s); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repbench:", err)
+	os.Exit(1)
+}

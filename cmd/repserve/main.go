@@ -1,0 +1,100 @@
+// Command repserve serves top-k representative queries over HTTP. It
+// generates or loads a database, builds (or loads) the NB-Index, and exposes
+// the JSON API of internal/server.
+//
+// Usage:
+//
+//	repserve -dataset dud -n 2000 -addr :8080
+//	repserve -in molecules.gdb -index molecules.nbx -addr :8080
+//
+// Example request:
+//
+//	curl -s localhost:8080/query -d '{"relevance":{"kind":"quartile"},"theta":10,"k":5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"graphrep"
+	"graphrep/internal/server"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "dud", "dataset preset (ignored with -in)")
+		n     = flag.Int("n", 1000, "graphs to generate (ignored with -in)")
+		seed  = flag.Int64("seed", 42, "generation seed")
+		in    = flag.String("in", "", "load the database from this file")
+		index = flag.String("index", "", "load/store the index at this file (skips rebuild when present)")
+		addr  = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	db, err := loadDatabase(*in, *name, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := openEngine(db, *index, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	log.Printf("serving %d graphs (avg |V|=%.1f) on %s", st.Graphs, st.AvgNodes, *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, error) {
+	if path == "" {
+		return graphrep.GenerateDataset(name, n, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graphrep.ReadDatabase(f)
+}
+
+// openEngine loads a persisted index when available, otherwise builds one
+// and persists it to indexPath (when given).
+func openEngine(db *graphrep.Database, indexPath string, seed int64) (*graphrep.Engine, error) {
+	if indexPath != "" {
+		if f, err := os.Open(indexPath); err == nil {
+			defer f.Close()
+			engine, err := graphrep.OpenWithIndex(db, f)
+			if err == nil {
+				log.Printf("loaded index from %s", indexPath)
+				return engine, nil
+			}
+			log.Printf("stored index unusable (%v); rebuilding", err)
+		}
+	}
+	start := time.Now()
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("index built in %v", time.Since(start).Round(time.Millisecond))
+	if indexPath != "" {
+		f, err := os.Create(indexPath)
+		if err != nil {
+			return nil, fmt.Errorf("persist index: %w", err)
+		}
+		defer f.Close()
+		if err := engine.SaveIndex(f); err != nil {
+			return nil, fmt.Errorf("persist index: %w", err)
+		}
+		log.Printf("index persisted to %s", indexPath)
+	}
+	return engine, nil
+}

@@ -1,0 +1,60 @@
+// Information cascades: Table 1, example 2. Each database graph is the
+// structure of an information cascade, labelled by user community, with a
+// topic-weight feature vector. The query asks for cascades relevant to a
+// topic set; a traditional top-k surfaces k cascades from the single most
+// active community, while the representative query spans the whole spectrum
+// of cascade shapes discussing those topics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphrep"
+)
+
+func main() {
+	db, err := graphrep.GenerateDataset("cascades", 1500, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	fmt.Printf("cascade database: %d cascades (avg %d nodes), %d communities, %d topics\n",
+		st.Graphs, int(st.AvgNodes), st.Labels, db.FeatureDim())
+
+	engine, err := graphrep.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query: cascades discussing topics {1, 4} (soft Jaccard ≥ 0.35).
+	topics := []int{1, 4}
+	onTopic := graphrep.TopicRelevance(topics, 0.35)
+	sess, err := engine.NewSession(onTopic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d cascades are on-topic for topics %v\n", sess.RelevantCount(), topics)
+	if sess.RelevantCount() == 0 {
+		fmt.Println("no on-topic cascades at this threshold; lower tau")
+		return
+	}
+
+	res, err := sess.TopK(14, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-%d representative cascade patterns (π = %.3f):\n", len(res.Answer), res.Power)
+	score := graphrep.TopicScore(topics)
+	for i, id := range res.Answer {
+		g := db.Graph(id)
+		fmt.Printf("  %d. cascade %-5d size=%-3d topic-match=%.2f shape=%x  represents %d more\n",
+			i+1, id, g.Order(), score(g.Features()), graphrep.WLHash(g, 2)&0xffff, res.Gains[i]-1)
+	}
+
+	// Contrast: the traditional answer by topic score alone.
+	trad := engine.TraditionalTopK(score, 6)
+	fmt.Printf("\ntraditional top-6 by topic score: %v (π = %.3f)\n",
+		trad, engine.Power(onTopic, trad, 14))
+	fmt.Println("the representative set covers the spectrum of cascade shapes, not one viral meme")
+}

@@ -1,0 +1,92 @@
+// Drug discovery: the paper's motivating scenario (Table 1, example 1 and
+// Fig. 7). A molecular library is screened against a protein target; a
+// traditional top-k query returns k near-identical top binders from one
+// chemical series, while a top-k representative query returns one exemplar
+// per promising structural family — far more useful for lead selection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphrep"
+)
+
+func main() {
+	// The synthetic DUD-like library: molecule graphs with a 10-dimensional
+	// feature vector of binding affinities against 10 targets.
+	db, err := graphrep.GenerateDataset("dud", 2000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	fmt.Printf("library: %d molecules (avg %d atoms, %d bonds)\n",
+		st.Graphs, int(st.AvgNodes), int(st.AvgEdges))
+
+	engine, err := graphrep.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Target 0 plays the role of acetylcholinesterase (AChE): a molecule is
+	// relevant ("active") if its affinity is in the library's top quartile.
+	target := []int{0}
+	affinity := graphrep.DimensionScore(target)
+	active := graphrep.FirstQuartileRelevance(db, target)
+	theta, k := 10.0, 5
+
+	// Traditional top-k: the k highest-affinity molecules.
+	traditional := engine.TraditionalTopK(affinity, k)
+	// Top-k representative: the k actives that best represent all actives.
+	representative, err := engine.TopKRepresentative(graphrep.Query{
+		Relevance: active, Theta: theta, K: k,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string, ids []graphrep.ID) {
+		power := engine.Power(active, ids, theta)
+		fmt.Printf("\n%s (π = %.3f):\n", label, power)
+		for _, id := range ids {
+			g := db.Graph(id)
+			fmt.Printf("  molecule %-5d affinity=%.2f  atoms=%d\n",
+				id, affinity(g.Features()), g.Order())
+		}
+		fmt.Printf("  structural diversity (mean pairwise distance): %.1f\n", meanPairwise(db, ids))
+	}
+	report("traditional top-5 binders", traditional)
+	report("top-5 representative actives", representative.Answer)
+
+	// Which actives does each exemplar stand for?
+	families := engine.Explain(active, representative.Answer, theta)
+	fmt.Println("\nper-exemplar families:")
+	for _, id := range representative.Answer {
+		fmt.Printf("  exemplar %-5d represents %d actives\n", id, len(families[id]))
+	}
+
+	fmt.Printf("\nThe representative set spans %.1fx more structural space and covers %d actives vs %d.\n",
+		meanPairwise(db, representative.Answer)/max1(meanPairwise(db, traditional)),
+		representative.Covered, int(engine.Power(active, traditional, theta)*float64(representative.Relevant)+0.5))
+}
+
+func meanPairwise(db *graphrep.Database, ids []graphrep.ID) float64 {
+	if len(ids) < 2 {
+		return 0
+	}
+	total, pairs := 0.0, 0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			total += graphrep.Distance(db.Graph(ids[i]), db.Graph(ids[j]))
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+func max1(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}

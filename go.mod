@@ -1,0 +1,3 @@
+module graphrep
+
+go 1.22

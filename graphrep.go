@@ -1,0 +1,403 @@
+// Package graphrep answers top-k representative queries on graph databases,
+// implementing Ranu, Hoang & Singh, "Answering Top-k Representative Queries
+// on Graph Databases" (SIGMOD 2014).
+//
+// Given a database of labelled graphs tagged with feature vectors, a
+// query-time relevance function, a distance threshold θ, and a budget k, a
+// top-k representative query returns the k relevant graphs that together
+// represent (lie within θ of) as many relevant graphs as possible. The
+// problem is NP-hard; the greedy answer computed here carries the best
+// possible polynomial-time guarantee of (1 − 1/e) of the optimum.
+//
+// The Engine type wraps the paper's NB-Index: a combination of vantage
+// orderings (a Lipschitz embedding of the graph metric space) and the
+// NB-Tree (a hierarchical clustering carrying representative-power upper
+// bounds), which answers queries with a small fraction of the graph distance
+// computations a direct implementation needs, and supports interactive
+// refinement of θ at a fraction of the initial query cost.
+//
+// Basic use:
+//
+//	db, _ := graphrep.GenerateDataset("dud", 1000, 42)
+//	engine, _ := graphrep.Open(db)
+//	res, _ := engine.TopKRepresentative(graphrep.Query{
+//		Relevance: func(f []float64) bool { return f[0] > 0.8 },
+//		Theta:     10,
+//		K:         5,
+//	})
+//
+// For repeated queries with the same relevance function (e.g. tuning θ),
+// open a Session:
+//
+//	sess, _ := engine.NewSession(relevance)
+//	res1, _ := sess.TopK(10, 5)
+//	res2, _ := sess.TopK(9, 5) // refinement: far cheaper than a new query
+package graphrep
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"graphrep/internal/core"
+	"graphrep/internal/dataset"
+	"graphrep/internal/ged"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+	"graphrep/internal/nbindex"
+)
+
+// Re-exported core types. Graphs are immutable; Database is the indexed
+// collection all queries run against.
+type (
+	// Graph is an immutable labelled undirected graph with a feature vector.
+	Graph = graph.Graph
+	// ID identifies a graph within a Database.
+	ID = graph.ID
+	// Label identifies a vertex or edge type.
+	Label = graph.Label
+	// Builder assembles a Graph.
+	Builder = graph.Builder
+	// Database is an ordered collection of graphs.
+	Database = graph.Database
+	// Relevance classifies a graph as relevant from its feature vector.
+	Relevance = core.Relevance
+	// Score ranks graphs for traditional top-k queries.
+	Score = core.Score
+	// Query is one top-k representative query.
+	Query = core.Query
+	// Result is the answer to a top-k representative query.
+	Result = core.Result
+)
+
+// NewBuilder returns a graph builder pre-sized for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// NewDatabase assembles a database from graphs whose IDs equal their
+// positions.
+func NewDatabase(graphs []*Graph) (*Database, error) { return graph.NewDatabase(graphs) }
+
+// ReadDatabase parses the text exchange format produced by WriteDatabase.
+func ReadDatabase(r io.Reader) (*Database, error) { return graph.ReadDatabase(r) }
+
+// WriteDatabase writes db in the text exchange format.
+func WriteDatabase(w io.Writer, db *Database) error { return graph.WriteDatabase(w, db) }
+
+// GenerateDataset builds one of the synthetic datasets emulating the paper's
+// corpora: "dud" (molecules), "dblp" (collaboration neighborhoods), or
+// "amazon" (co-purchase neighborhoods). Deterministic in (n, seed).
+func GenerateDataset(name string, n int, seed int64) (*Database, error) {
+	return dataset.ByName(name, n, seed)
+}
+
+// Distance computes the star-matching graph distance — the metric d(g, g')
+// used by the engine (a true metric approximating graph edit distance; see
+// internal/ged).
+func Distance(g1, g2 *Graph) float64 { return ged.StarDistance(g1, g2) }
+
+// Metric computes the distance between two database graphs. Custom metrics
+// supplied to Open must be symmetric, non-negative, zero on identical IDs,
+// and satisfy the triangle inequality — every pruning theorem the index
+// relies on assumes it. The star-matching default always qualifies.
+type Metric interface {
+	Distance(a, b ID) float64
+}
+
+// MetricFunc adapts a plain function to the Metric interface.
+type MetricFunc func(a, b ID) float64
+
+// Distance implements Metric.
+func (f MetricFunc) Distance(a, b ID) float64 { return f(a, b) }
+
+// Options configure Open.
+type Options struct {
+	// NumVPs is the number of vantage points; 0 picks a default scaled to
+	// the database size.
+	NumVPs int
+	// Branching is the NB-Tree fan-out; 0 defaults to 4.
+	Branching int
+	// ThetaGrid lists thresholds to index in the π̂-vectors; nil derives a
+	// grid from the sampled distance distribution (§7.1).
+	ThetaGrid []float64
+	// Seed drives index construction randomness; the default is 1.
+	Seed int64
+	// Metric overrides the database distance; nil uses the star-matching
+	// metric. Custom metrics must satisfy the triangle inequality. Wrap
+	// expensive metrics in a memoizing layer if repeated queries matter;
+	// the default metric is cached automatically.
+	Metric Metric
+}
+
+// Engine answers top-k representative queries over one database through an
+// NB-Index. Engines are safe for sequential use; concurrent queries should
+// use separate Sessions.
+type Engine struct {
+	db *Database
+	m  metric.Metric
+	ix *nbindex.Index
+}
+
+// Open indexes db and returns a query engine.
+func Open(db *Database, opts ...Options) (*Engine, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("graphrep: empty database")
+	}
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	var m metric.Metric
+	if o.Metric == nil {
+		m = metric.NewCache(metric.Star(db))
+	} else {
+		m = o.Metric
+		// Catch broken custom metrics early: a handful of cheap spot checks
+		// on the properties every index theorem assumes.
+		if err := sanityCheckMetric(db, m); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	grid := o.ThetaGrid
+	if grid == nil {
+		samples := db.Len() * 8
+		if samples > 20000 {
+			samples = 20000
+		}
+		grid = nbindex.ChooseGrid(db, m, 10, samples, rng)
+		if len(grid) == 0 {
+			grid = []float64{1}
+		}
+	}
+	numVPs := o.NumVPs
+	if numVPs <= 0 {
+		numVPs = 4
+		for n := db.Len(); n > 100; n /= 10 {
+			numVPs *= 2 // 4 VPs per decade of database size
+		}
+		if numVPs > 100 {
+			numVPs = 100
+		}
+	}
+	if numVPs > db.Len() {
+		numVPs = db.Len()
+	}
+	branching := o.Branching
+	if branching == 0 {
+		branching = 4
+	}
+	ix, err := nbindex.Build(db, m, nbindex.Options{
+		NumVPs:    numVPs,
+		Branching: branching,
+		ThetaGrid: grid,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db, m: m, ix: ix}, nil
+}
+
+// OpenWithIndex reopens a database with an index previously persisted by
+// SaveIndex, skipping index construction entirely. The database must be the
+// same one the index was built over.
+func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) {
+	if db == nil || db.Len() == 0 {
+		return nil, fmt.Errorf("graphrep: empty database")
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	m := o.Metric
+	if m == nil {
+		m = metric.NewCache(metric.Star(db))
+	}
+	ix, err := nbindex.Read(r, db, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db, m: m, ix: ix}, nil
+}
+
+// SaveIndex persists the engine's NB-Index so a later OpenWithIndex can skip
+// construction (the offline step of Fig. 6(k)).
+func (e *Engine) SaveIndex(w io.Writer) error { return e.ix.Encode(w) }
+
+// Insert appends a graph to the database and extends the index
+// incrementally — |V| vantage distances plus a tree descent instead of a
+// rebuild. The graph's ID must equal Database().Len(). Cluster bounds
+// loosen slightly as inserts accumulate (answers stay exact; queries slow
+// gradually), so rebuild with Open after heavy insert volume. Not safe
+// concurrently with queries; sessions created before an Insert do not see
+// the new graph.
+func (e *Engine) Insert(g *Graph) error {
+	if err := e.db.Append(g); err != nil {
+		return err
+	}
+	return e.ix.Insert(g.ID())
+}
+
+// sanityCheckMetric spot-checks identity, non-negativity, symmetry, and the
+// triangle inequality on a few pairs. It cannot prove a metric correct, but
+// it catches the common mistakes (asymmetric or unnormalized distances)
+// before they silently corrupt index pruning.
+func sanityCheckMetric(db *Database, m metric.Metric) error {
+	n := db.Len()
+	pick := func(i int) ID { return ID(i % n) }
+	for i := 0; i < 5 && i < n; i++ {
+		a := pick(i * 7)
+		if d := m.Distance(a, a); d != 0 {
+			return fmt.Errorf("graphrep: custom metric: d(%d,%d) = %v, want 0", a, a, d)
+		}
+		b, c := pick(i*13+1), pick(i*29+2)
+		dab, dba := m.Distance(a, b), m.Distance(b, a)
+		if dab < 0 {
+			return fmt.Errorf("graphrep: custom metric: d(%d,%d) = %v < 0", a, b, dab)
+		}
+		if dab != dba {
+			return fmt.Errorf("graphrep: custom metric: d(%d,%d)=%v ≠ d(%d,%d)=%v", a, b, dab, b, a, dba)
+		}
+		if dac, dbc := m.Distance(a, c), m.Distance(b, c); dac > dab+dbc+1e-9 {
+			return fmt.Errorf("graphrep: custom metric: triangle inequality violated on (%d,%d,%d)", a, b, c)
+		}
+	}
+	return nil
+}
+
+// Database returns the engine's database.
+func (e *Engine) Database() *Database { return e.db }
+
+// IndexBytes approximates the index memory footprint.
+func (e *Engine) IndexBytes() int64 { return e.ix.Bytes() }
+
+// TopKRepresentative answers q through the NB-Index. For repeated queries
+// with the same relevance function, use NewSession instead.
+func (e *Engine) TopKRepresentative(q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return e.ix.NewSession(q.Relevance).TopK(q.Theta, q.K)
+}
+
+// TopKRepresentativeExact answers q with the simple quadratic greedy
+// (Alg. 1), bypassing the index. Useful for validation and for tiny
+// databases where index construction does not pay off. The answer is
+// identical to TopKRepresentative.
+func (e *Engine) TopKRepresentativeExact(q Query) (*Result, error) {
+	return core.BaselineGreedy(e.db, e.m, q)
+}
+
+// TopKRepresentativePolished answers q with the exact greedy followed by
+// swap local search: answer members are exchanged for non-members while
+// coverage strictly improves. Costs a full pairwise scan of the relevant set
+// (like TopKRepresentativeExact) plus the swap rounds; π is ≥ the greedy's.
+// Use when answer quality matters more than latency.
+func (e *Engine) TopKRepresentativePolished(q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rel := core.Relevant(e.db, q.Relevance)
+	nb := core.PairwiseNeighborhoods(e.db, e.m, rel, q.Theta)
+	res := core.Greedy(nb, q.K)
+	improved, _ := core.LocalSearchImprove(nb, res, 0)
+	return improved, nil
+}
+
+// TraditionalTopK returns the k highest-scoring graphs — the classical
+// formulation the paper's qualitative comparison contrasts with.
+func (e *Engine) TraditionalTopK(score Score, k int) []ID {
+	return core.TraditionalTopK(e.db, score, k)
+}
+
+// Relevant returns the IDs the relevance function selects.
+func (e *Engine) Relevant(rel Relevance) []ID { return core.Relevant(e.db, rel) }
+
+// Power evaluates π_θ(answer): the fraction of relevant graphs within θ of
+// the answer set. Useful for scoring answer sets from other systems.
+func (e *Engine) Power(rel Relevance, answer []ID, theta float64) float64 {
+	relevant := core.Relevant(e.db, rel)
+	p, _ := core.Power(e.db, e.m, relevant, answer, theta)
+	return p
+}
+
+// Explain assigns every relevant graph covered by the answer to its nearest
+// answer member: the map lists, per exemplar, the graphs it stands for
+// (itself included). Costs |answer|·|L_q| distance computations.
+func (e *Engine) Explain(rel Relevance, answer []ID, theta float64) map[ID][]ID {
+	relevant := core.Relevant(e.db, rel)
+	return core.AssignRepresentatives(e.db, e.m, relevant, answer, theta)
+}
+
+// Session is the reusable initialization for one relevance function: any
+// number of TopK calls at different θ (interactive refinement) amortize it.
+type Session struct {
+	s *nbindex.Session
+}
+
+// NewSession prepares a session for the relevance function.
+func (e *Engine) NewSession(rel Relevance) (*Session, error) {
+	if rel == nil {
+		return nil, fmt.Errorf("graphrep: nil relevance function")
+	}
+	return &Session{s: e.ix.NewSession(rel)}, nil
+}
+
+// TopK answers a top-k representative query at threshold theta.
+func (s *Session) TopK(theta float64, k int) (*Result, error) { return s.s.TopK(theta, k) }
+
+// ThetaPoint is one row of a threshold sweep: the quality of the answer the
+// engine returns at one θ.
+type ThetaPoint = nbindex.ThetaPoint
+
+// SweepTheta answers the query at every indexed threshold (plus any extras)
+// and returns the coverage/granularity trade-off curve — the "zoom level"
+// explorer of the paper's §7.
+func (s *Session) SweepTheta(k int, extra ...float64) ([]ThetaPoint, error) {
+	return s.s.SweepTheta(k, extra...)
+}
+
+// SuggestTheta picks the knee of a sweep curve: the threshold past which a
+// larger radius buys little extra coverage.
+func SuggestTheta(points []ThetaPoint) (ThetaPoint, error) { return nbindex.SuggestTheta(points) }
+
+// RelevantCount returns |L_q| for the session.
+func (s *Session) RelevantCount() int { return s.s.RelevantCount() }
+
+// FirstQuartileRelevance returns the paper's default relevance function: a
+// graph is relevant when its mean feature score (over dims, or all
+// dimensions when dims is nil) falls in the top quartile of the database.
+func FirstQuartileRelevance(db *Database, dims []int) Relevance {
+	return core.FirstQuartileRelevance(db, dims)
+}
+
+// DimensionScore scores a feature vector as the mean over the chosen
+// dimensions (all when dims is nil).
+func DimensionScore(dims []int) Score { return core.DimensionScore(dims) }
+
+// TopicScore is the cascade query function (Table 1, example 2): the soft
+// Jaccard similarity between a graph's topic-weight vector and a query
+// topic set.
+func TopicScore(topics []int) Score { return core.TopicScore(topics) }
+
+// TopicRelevance classifies a graph as relevant when its TopicScore against
+// the query topics reaches tau.
+func TopicRelevance(topics []int, tau float64) Relevance { return core.TopicRelevance(topics, tau) }
+
+// WeightedScore is the bug-analysis query function (Table 1, example 3):
+// wᵀ·features, e.g. recency-weighted occurrence counts.
+func WeightedScore(w []float64) Score { return core.WeightedScore(w) }
+
+// WeightedRelevance classifies a graph as relevant when its WeightedScore
+// reaches tau.
+func WeightedRelevance(w []float64, tau float64) Relevance { return core.WeightedRelevance(w, tau) }
+
+// WLHash returns a Weisfeiler–Lehman hash of the graph: equal hashes mean
+// isomorphic with high probability. Useful for detecting duplicates and
+// grouping answer sets into structural families.
+func WLHash(g *Graph, rounds int) uint64 { return g.WLHash(rounds) }

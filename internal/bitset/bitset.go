@@ -1,0 +1,126 @@
+// Package bitset provides a dense fixed-capacity bit set. θ-neighborhoods
+// and coverage sets over the relevant graphs are represented as bitsets so
+// that the greedy update N(g) ← N(g)\N(g*) (Alg. 1, lines 6–7) and coverage
+// counting are word-parallel.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value of Set is unusable; create
+// sets with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for bits [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set.
+func (s *Set) Len() int { return s.n }
+
+// Add sets bit i.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool { return s.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...), n: s.n}
+}
+
+// Clear removes all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Or sets s = s ∪ t. The sets must have equal capacity.
+func (s *Set) Or(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// AndNot sets s = s \ t. The sets must have equal capacity.
+func (s *Set) AndNot(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// And sets s = s ∩ t. The sets must have equal capacity.
+func (s *Set) And(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// CountAndNot returns |s \ t| without modifying s: the marginal gain
+// computation of the greedy loop.
+func (s *Set) CountAndNot(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w &^ t.words[i])
+	}
+	return c
+}
+
+// CountAnd returns |s ∩ t| without modifying s.
+func (s *Set) CountAnd(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// Range calls fn for every set bit in ascending order; fn returning false
+// stops the iteration.
+func (s *Set) Range(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set bits in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.Range(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// Equal reports whether s and t contain the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}

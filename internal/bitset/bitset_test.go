@@ -1,0 +1,128 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 || s.Count() != 0 {
+		t.Fatalf("new set: len=%d count=%d", s.Len(), s.Count())
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	if !s.Contains(64) || s.Contains(63) {
+		t.Error("Contains wrong")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 2 {
+		t.Error("Remove failed")
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a, b := New(100), New(100)
+	for _, i := range []int{1, 5, 70} {
+		a.Add(i)
+	}
+	for _, i := range []int{5, 70, 99} {
+		b.Add(i)
+	}
+	u := a.Clone()
+	u.Or(b)
+	if !reflect.DeepEqual(u.Slice(), []int{1, 5, 70, 99}) {
+		t.Errorf("Or = %v", u.Slice())
+	}
+	d := a.Clone()
+	d.AndNot(b)
+	if !reflect.DeepEqual(d.Slice(), []int{1}) {
+		t.Errorf("AndNot = %v", d.Slice())
+	}
+	x := a.Clone()
+	x.And(b)
+	if !reflect.DeepEqual(x.Slice(), []int{5, 70}) {
+		t.Errorf("And = %v", x.Slice())
+	}
+	if got := a.CountAndNot(b); got != 1 {
+		t.Errorf("CountAndNot = %d", got)
+	}
+	if got := a.CountAnd(b); got != 2 {
+		t.Errorf("CountAnd = %d", got)
+	}
+	if a.Equal(b) {
+		t.Error("Equal(a,b) = true")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("Equal(a, clone) = false")
+	}
+	if a.Equal(New(5)) {
+		t.Error("Equal across capacities")
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.Add(i)
+	}
+	seen := 0
+	s.Range(func(i int) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Errorf("early stop saw %d", seen)
+	}
+}
+
+// Property: CountAndNot agrees with materialized AndNot, and Or/AndNot obey
+// |a ∪ b| = |a| + |b \ a|.
+func TestCountProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Float64() < 0.3 {
+				a.Add(i)
+			}
+			if r.Float64() < 0.3 {
+				b.Add(i)
+			}
+		}
+		d := a.Clone()
+		d.AndNot(b)
+		if d.Count() != a.CountAndNot(b) {
+			return false
+		}
+		u := a.Clone()
+		u.Or(b)
+		return u.Count() == a.Count()+b.CountAndNot(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	s := New(77)
+	want := []int{0, 13, 64, 76}
+	for _, i := range want {
+		s.Add(i)
+	}
+	if got := s.Slice(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Slice = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphrep/internal/metric"
+)
+
+func TestLazyGreedyMatchesGreedyExactly(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		db, m := randDB(t, 70, 70+seed)
+		rel := Relevant(db, allRelevant)
+		nb := PairwiseNeighborhoods(db, m, rel, 3.5)
+		for _, k := range []int{1, 5, 20} {
+			want := Greedy(nb, k)
+			got, stats := LazyGreedy(nb, k)
+			if !reflect.DeepEqual(got.Answer, want.Answer) {
+				t.Fatalf("seed %d k %d: lazy %v, want %v", seed, k, got.Answer, want.Answer)
+			}
+			if got.Power != want.Power || !reflect.DeepEqual(got.Gains, want.Gains) {
+				t.Fatalf("seed %d k %d: power/gains differ", seed, k)
+			}
+			if stats.Evaluations <= 0 {
+				t.Fatalf("no evaluations recorded")
+			}
+		}
+	}
+}
+
+func TestLazyGreedySavesEvaluations(t *testing.T) {
+	db, m := randDB(t, 120, 81)
+	rel := Relevant(db, allRelevant)
+	nb := PairwiseNeighborhoods(db, m, rel, 4)
+	k := 15
+	res, stats := LazyGreedy(nb, k)
+	// Plain greedy evaluates |L| gains per pick.
+	plainEvals := len(rel) * len(res.Answer)
+	if stats.Evaluations >= plainEvals {
+		t.Errorf("CELF evaluated %d gains, plain greedy would use %d", stats.Evaluations, plainEvals)
+	}
+	t.Logf("evaluations: CELF=%d plain=%d (%.1fx saved)", stats.Evaluations, plainEvals,
+		float64(plainEvals)/float64(stats.Evaluations))
+}
+
+// Tri-engine equivalence: all three formulations of the greedy (covered-set,
+// CELF-lazy, and literal mutating with and without Theorem 3) must agree on
+// random instances — a testing/quick property over seeds.
+func TestAllGreedyFormulationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db, m := randDB(nil, 20+r.Intn(40), seed)
+		rs := metric.NewLinearScan(db.Len(), m)
+		theta := 1 + r.Float64()*6
+		k := 1 + r.Intn(10)
+		rel := Relevant(db, allRelevant)
+		nb := PairwiseNeighborhoods(db, m, rel, theta)
+		plain := Greedy(nb, k)
+		lazy, _ := LazyGreedy(nb, k)
+		q := Query{Relevance: allRelevant, Theta: theta, K: k}
+		mutFull, _, err := MutatingGreedy(db, m, rs, q, false)
+		if err != nil {
+			return false
+		}
+		mutThm3, _, err := MutatingGreedy(db, m, rs, q, true)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(plain.Answer, lazy.Answer) &&
+			reflect.DeepEqual(plain.Answer, mutFull.Answer) &&
+			reflect.DeepEqual(plain.Answer, mutThm3.Answer) &&
+			plain.Power == lazy.Power && plain.Power == mutFull.Power
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLazyGreedyEmpty(t *testing.T) {
+	nb := NewNeighborhoods(0, nil)
+	res, stats := LazyGreedy(nb, 5)
+	if len(res.Answer) != 0 || stats.Evaluations != 0 {
+		t.Errorf("empty: %+v %+v", res, stats)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"graphrep/internal/bitset"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+// MutatingGreedy is the literal Alg. 1 of the paper: after each pick g*,
+// every remaining neighborhood is updated as N(g) ← N(g) \ N(g*) (lines
+// 6–7), and the next pick maximizes |N(g)| directly. With prune2Theta set, a
+// range searcher restricts the update to graphs within 2θ of g* — Theorem 3:
+// graphs farther away have disjoint neighborhoods with N(g*), so their sets
+// cannot change.
+//
+// The answer is identical to Greedy (which realizes the same iteration with
+// an immutable covered set); MutatingGreedy exists to reproduce the paper's
+// pseudocode faithfully and to measure the update-step work that Theorem 3
+// saves. Stats reports that work.
+func MutatingGreedy(db *graph.Database, m metric.Metric, rs metric.RangeSearcher, q Query, prune2Theta bool) (*Result, *MutatingStats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rel := Relevant(db, q.Relevance)
+	nb := PairwiseNeighborhoods(db, m, rel, q.Theta)
+	stats := &MutatingStats{}
+	res := &Result{Relevant: len(rel)}
+	if len(rel) == 0 {
+		return res, stats, nil
+	}
+	inAnswer := make([]bool, len(rel))
+	covered := bitset.New(len(rel))
+	for len(res.Answer) < q.K {
+		// Line 4: argmax over the *current* (already-subtracted) sets.
+		best, bestGain := -1, 0
+		for i := range rel {
+			if inAnswer[i] {
+				continue
+			}
+			if gain := nb.Sets[i].Count(); gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inAnswer[best] = true
+		res.Answer = append(res.Answer, rel[best])
+		res.Gains = append(res.Gains, bestGain)
+		picked := nb.Sets[best].Clone()
+		covered.Or(picked)
+		// Lines 6–7: subtract N(g*) from every remaining neighborhood —
+		// all of them, or only those within 2θ of g* (Theorem 3).
+		if prune2Theta && rs != nil {
+			for _, hit := range rs.Range(rel[best], 2*q.Theta) {
+				if p := nb.Pos[hit]; p >= 0 && !inAnswer[p] {
+					nb.Sets[p].AndNot(picked)
+					stats.UpdatedSets++
+				}
+			}
+		} else {
+			for i := range rel {
+				if !inAnswer[i] {
+					nb.Sets[i].AndNot(picked)
+					stats.UpdatedSets++
+				}
+			}
+		}
+		nb.Sets[best].Clear()
+	}
+	res.Covered = covered.Count()
+	res.Power = float64(res.Covered) / float64(res.Relevant)
+	return res, stats, nil
+}
+
+// MutatingStats reports the update-step work of MutatingGreedy.
+type MutatingStats struct {
+	// UpdatedSets counts neighborhood subtractions performed across all
+	// iterations (the quantity Theorem 3 reduces).
+	UpdatedSets int
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"graphrep/internal/metric"
+)
+
+func TestMutatingGreedyMatchesGreedy(t *testing.T) {
+	db, m := randDB(t, 60, 40)
+	rs := metric.NewLinearScan(db.Len(), m)
+	q := Query{Relevance: allRelevant, Theta: 4, K: 8}
+	want, err := BaselineGreedy(db, m, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prune := range []bool{false, true} {
+		got, stats, err := MutatingGreedy(db, m, rs, q, prune)
+		if err != nil {
+			t.Fatalf("MutatingGreedy(prune=%v): %v", prune, err)
+		}
+		if !reflect.DeepEqual(got.Answer, want.Answer) {
+			t.Fatalf("prune=%v: answer %v, want %v", prune, got.Answer, want.Answer)
+		}
+		if got.Power != want.Power || !reflect.DeepEqual(got.Gains, want.Gains) {
+			t.Fatalf("prune=%v: power/gains differ", prune)
+		}
+		if len(got.Answer) > 1 && stats.UpdatedSets == 0 {
+			t.Errorf("prune=%v: no update work recorded", prune)
+		}
+	}
+}
+
+// Theorem 3's point: the 2θ-restricted update touches no more sets than the
+// full update, and at small θ far fewer.
+func TestTheorem3ReducesUpdateWork(t *testing.T) {
+	db, m := randDB(t, 80, 41)
+	rs := metric.NewLinearScan(db.Len(), m)
+	q := Query{Relevance: allRelevant, Theta: 2, K: 10}
+	_, full, err := MutatingGreedy(db, m, rs, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pruned, err := MutatingGreedy(db, m, rs, q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.UpdatedSets > full.UpdatedSets {
+		t.Errorf("Theorem 3 increased update work: %d > %d", pruned.UpdatedSets, full.UpdatedSets)
+	}
+	t.Logf("update work: full=%d thm3=%d", full.UpdatedSets, pruned.UpdatedSets)
+}
+
+func TestMutatingGreedyEdgeCases(t *testing.T) {
+	db, m := randDB(t, 10, 42)
+	rs := metric.NewLinearScan(db.Len(), m)
+	if _, _, err := MutatingGreedy(db, m, rs, Query{Relevance: nil, Theta: 1, K: 1}, true); err == nil {
+		t.Error("invalid query accepted")
+	}
+	res, stats, err := MutatingGreedy(db, m, rs, Query{Relevance: func([]float64) bool { return false }, Theta: 1, K: 1}, true)
+	if err != nil || len(res.Answer) != 0 || stats.UpdatedSets != 0 {
+		t.Errorf("empty relevant: %+v %+v %v", res, stats, err)
+	}
+	// nil range searcher falls back to the unpruned update.
+	res2, _, err := MutatingGreedy(db, m, nil, Query{Relevance: allRelevant, Theta: 3, K: 2}, true)
+	if err != nil || len(res2.Answer) == 0 {
+		t.Errorf("nil searcher: %+v %v", res2, err)
+	}
+}

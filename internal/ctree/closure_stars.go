@@ -1,0 +1,232 @@
+package ctree
+
+import (
+	"sort"
+
+	"graphrep/internal/assignment"
+	"graphrep/internal/graph"
+)
+
+// closureStars is the vertex-mapped closure of He & Singh adapted to the
+// star-matching metric: member graphs' stars are folded into aligned
+// "slots", each summarizing every member star mapped onto it (center label
+// set, per-spoke maximum multiplicities, degree interval). From a query
+// graph it yields a provable lower bound on the star distance to every
+// absorbed member that is tighter than the count-interval bounds of
+// closure.lowerBound, at the price of a Hungarian solve.
+//
+// Soundness of the bound (see lowerBound): only slots used by *every*
+// member ("core slots") constrain the matching; query stars left over are
+// given optimistic zero cost (they might match a member vertex outside the
+// core), and core slots left over cost at least a padding star.
+type closureStars struct {
+	slots   []slot
+	members int
+}
+
+// slot summarizes the member stars mapped onto one closure vertex.
+type slot struct {
+	centers map[graph.Label]struct{}
+	// spokeMax[s] is the maximum multiplicity of spoke s in any mapped star.
+	spokeMax map[graph.Spoke]int
+	minDeg   int
+	maxDeg   int
+	usedBy   int // number of members with a star mapped here
+}
+
+func newSlot() *slot {
+	return &slot{
+		centers:  make(map[graph.Label]struct{}),
+		spokeMax: make(map[graph.Spoke]int),
+		minDeg:   int(^uint(0) >> 1),
+	}
+}
+
+func (s *slot) absorb(st graph.Star) {
+	s.centers[st.Center] = struct{}{}
+	counts := make(map[graph.Spoke]int, len(st.Spokes))
+	for _, sp := range st.Spokes {
+		counts[sp]++
+	}
+	for sp, c := range counts {
+		if c > s.spokeMax[sp] {
+			s.spokeMax[sp] = c
+		}
+	}
+	if d := len(st.Spokes); d < s.minDeg {
+		s.minDeg = d
+	}
+	if d := len(st.Spokes); d > s.maxDeg {
+		s.maxDeg = d
+	}
+	s.usedBy++
+}
+
+// fitCost estimates how well star st fits slot s — used only to choose the
+// folding alignment, so it affects tightness, not soundness.
+func (s *slot) fitCost(st graph.Star) float64 {
+	c := 0.0
+	if _, ok := s.centers[st.Center]; !ok {
+		c = 1
+	}
+	matched := 0
+	counts := make(map[graph.Spoke]int, len(st.Spokes))
+	for _, sp := range st.Spokes {
+		counts[sp]++
+	}
+	for sp, cnt := range counts {
+		if m := s.spokeMax[sp]; m < cnt {
+			matched += m
+		} else {
+			matched += cnt
+		}
+	}
+	return c + float64(len(st.Spokes)-matched)
+}
+
+// absorbGraph folds a member's stars into the closure: stars are aligned to
+// existing slots by a minimum-cost assignment (new slots are created when
+// the member has more stars than the closure).
+func (c *closureStars) absorbGraph(g *graph.Graph) {
+	stars := g.Stars()
+	// Deterministic processing order: larger stars first.
+	order := make([]int, len(stars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := stars[order[a]], stars[order[b]]
+		if len(sa.Spokes) != len(sb.Spokes) {
+			return len(sa.Spokes) > len(sb.Spokes)
+		}
+		return sa.Center < sb.Center
+	})
+	if c.members == 0 {
+		for _, i := range order {
+			s := newSlot()
+			s.absorb(stars[i])
+			c.slots = append(c.slots, *s)
+		}
+		c.members = 1
+		return
+	}
+	n := len(stars)
+	if len(c.slots) > n {
+		n = len(c.slots)
+	}
+	cost := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range cost {
+		cost[i], flat = flat[:n:n], flat[n:]
+		for j := range cost[i] {
+			switch {
+			case i < len(stars) && j < len(c.slots):
+				cost[i][j] = c.slots[j].fitCost(stars[order[i]])
+			case i < len(stars):
+				// New slot for this star.
+				cost[i][j] = float64(1 + len(stars[order[i]].Spokes))
+			default:
+				cost[i][j] = 0 // slot unused by this member
+			}
+		}
+	}
+	perm, _ := assignment.Solve(cost)
+	grown := c.slots
+	for i := 0; i < len(stars); i++ {
+		j := perm[i]
+		if j < len(c.slots) {
+			grown[j].absorb(stars[order[i]])
+		} else {
+			s := newSlot()
+			s.absorb(stars[order[i]])
+			grown = append(grown, *s)
+		}
+	}
+	c.slots = grown
+	c.members++
+}
+
+// lowerBound returns a lower bound on the star distance between g and every
+// member absorbed into the closure.
+func (c *closureStars) lowerBound(g *graph.Graph) float64 {
+	if c.members == 0 {
+		return 0
+	}
+	stars := g.Stars()
+	// Core slots: used by every member, hence present in every member's
+	// star multiset.
+	var core []*slot
+	for i := range c.slots {
+		if c.slots[i].usedBy == c.members {
+			core = append(core, &c.slots[i])
+		}
+	}
+	// Rows: nq query stars + nc padding rows; columns: nc core slots + nq
+	// padding columns. The square (nq+nc) layout guarantees that the
+	// assignment induced by any member's true star matching is feasible
+	// here, so the Hungarian minimum lower-bounds every member's distance.
+	nq, nc := len(stars), len(core)
+	n := nq + nc
+	if n == 0 {
+		return 0
+	}
+	cost := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range cost {
+		cost[i], flat = flat[:n:n], flat[n:]
+		for j := range cost[i] {
+			switch {
+			case i < nq && j < nc:
+				cost[i][j] = starSlotLB(stars[i], core[j])
+			case i < nq:
+				// The query star may match a member vertex outside the core:
+				// optimistically free.
+				cost[i][j] = 0
+			case j < nc:
+				// A core member star left unmatched costs at least a padding
+				// star.
+				cost[i][j] = float64(1 + core[j].minDeg)
+			default:
+				cost[i][j] = 0
+			}
+		}
+	}
+	_, total := assignment.Solve(cost)
+	return total
+}
+
+// starSlotLB lower-bounds the star pair cost between a concrete query star
+// and any member star summarized by the slot.
+func starSlotLB(a graph.Star, s *slot) float64 {
+	center := 1.0
+	if _, ok := s.centers[a.Center]; ok {
+		center = 0
+	}
+	// Optimistic overlap of the query's spokes with any member star at this
+	// slot.
+	counts := make(map[graph.Spoke]int, len(a.Spokes))
+	for _, sp := range a.Spokes {
+		counts[sp]++
+	}
+	opt := 0
+	for sp, cnt := range counts {
+		if m := s.spokeMax[sp]; m < cnt {
+			opt += m
+		} else {
+			opt += cnt
+		}
+	}
+	la := len(a.Spokes)
+	// |A Δ B| ≥ max(|A| − opt, |A| + minDeg − 2·opt, minDeg − opt, 0).
+	best := la - opt
+	if v := la + s.minDeg - 2*opt; v > best {
+		best = v
+	}
+	if v := s.minDeg - opt; v > best {
+		best = v
+	}
+	if best < 0 {
+		best = 0
+	}
+	return center + float64(best)
+}

@@ -1,0 +1,159 @@
+package ctree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"graphrep/internal/ged"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+// The load-bearing property: the star-closure lower bound never exceeds the
+// true star distance from a query graph to any absorbed member.
+func TestClosureStarsLowerBoundSound(t *testing.T) {
+	db, _ := randDB(50, 10)
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cs := &closureStars{}
+		var members []graph.ID
+		for i := 0; i < db.Len(); i++ {
+			if r.Float64() < 0.25 {
+				cs.absorbGraph(db.Graph(graph.ID(i)))
+				members = append(members, graph.ID(i))
+			}
+		}
+		if len(members) == 0 {
+			return true
+		}
+		q := db.Graph(graph.ID(r.Intn(db.Len())))
+		lb := cs.lowerBound(q)
+		for _, id := range members {
+			if lb > ged.StarDistance(q, db.Graph(id))+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosureStarsSingleMemberTightness(t *testing.T) {
+	// With one member the bound should be reasonably tight: positive for
+	// structurally distant graphs.
+	b1 := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b1.AddVertex(1)
+	}
+	b1.AddEdge(0, 1, 0)
+	b1.AddEdge(1, 2, 0)
+	b1.AddEdge(2, 3, 0)
+	member := b1.MustBuild(0)
+
+	b2 := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		b2.AddVertex(9) // entirely different labels
+	}
+	b2.AddEdge(0, 1, 0)
+	b2.AddEdge(1, 2, 0)
+	b2.AddEdge(2, 3, 0)
+	query := b2.MustBuild(1)
+
+	cs := &closureStars{}
+	cs.absorbGraph(member)
+	lb := cs.lowerBound(query)
+	if lb <= 0 {
+		t.Errorf("lb = %v for disjointly labelled graphs, want > 0", lb)
+	}
+	if truth := ged.StarDistance(query, member); lb > truth+1e-9 {
+		t.Errorf("lb %v exceeds true distance %v", lb, truth)
+	}
+	// Identical query: bound must be 0.
+	if lb := cs.lowerBound(member); lb != 0 {
+		t.Errorf("lb to the member itself = %v, want 0", lb)
+	}
+}
+
+func TestClosureStarsEmpty(t *testing.T) {
+	cs := &closureStars{}
+	db, _ := randDB(3, 12)
+	if lb := cs.lowerBound(db.Graph(0)); lb != 0 {
+		t.Errorf("empty closure lb = %v", lb)
+	}
+}
+
+// Range queries must stay exact with star closures enabled, and the star
+// bound must actually prune on family-structured data.
+func TestRangeExactWithStarClosures(t *testing.T) {
+	db, m := randDB(80, 13)
+	tree, err := Build(db, m, Options{Branching: 3, LeafSize: 4, StarClosures: true, MinStarSize: 4}, rand.New(rand.NewSource(14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := metric.NewLinearScan(db.Len(), m)
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 50; trial++ {
+		center := graph.ID(rng.Intn(db.Len()))
+		radius := rng.Float64() * 10
+		got := sortIDs(tree.Range(center, radius))
+		want := sortIDs(lin.Range(center, radius))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: results differ", trial)
+			}
+		}
+	}
+}
+
+func TestStarPrunesFireOnDisjointFamilies(t *testing.T) {
+	// Same two-family construction as TestClosurePruningFires, but query at
+	// a radius where the count bounds alone cannot prune (sizes overlap is
+	// impossible here, so instead use same-size families with different
+	// labels and edges).
+	var graphs []*graph.Graph
+	id := 0
+	addFamily := func(label graph.Label, edges [][2]int) {
+		for i := 0; i < 16; i++ {
+			b := graph.NewBuilder(6)
+			for v := 0; v < 6; v++ {
+				b.AddVertex(label)
+			}
+			for _, e := range edges {
+				b.AddEdge(e[0], e[1], 0)
+			}
+			g, err := b.Build(graph.ID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphs = append(graphs, g)
+			id++
+		}
+	}
+	addFamily(1, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})         // paths
+	addFamily(2, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})         // stars
+	addFamily(3, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {0, 5}}) // cycles
+	db, err := graph.NewDatabase(graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metric.NewCache(metric.Star(db))
+	tree, err := Build(db, m, Options{Branching: 3, LeafSize: 4, StarClosures: true, MinStarSize: 4}, rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		tree.Range(graph.ID(i), 1)
+	}
+	total := tree.ClosurePrunes() + tree.StarPrunes()
+	if total == 0 {
+		t.Error("no structural pruning on disjoint families")
+	}
+	t.Logf("count-bound prunes=%d star prunes=%d", tree.ClosurePrunes(), tree.StarPrunes())
+}

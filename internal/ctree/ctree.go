@@ -1,0 +1,320 @@
+// Package ctree implements a closure-tree-style graph index (He & Singh,
+// "Closure-Tree: An Index Structure for Graph Queries", ICDE 2006) adapted to
+// distance range queries, the role C-tree plays as a baseline in the paper.
+//
+// Like the original, every node summarizes its subtree with a *closure*: a
+// structural summary that any member graph "fits inside". Our closure keeps
+// the vertex-count interval, edge-count interval, and per-label count
+// intervals of the subtree. From a query graph the closure yields a lower
+// bound on the star-matching distance to every member:
+//
+//   - label bound: star distance ≥ max(n1, n2) − |H1 ∩ H2| for vertex-label
+//     histograms H (each matched star pair with differing centers, and each
+//     padding star, costs ≥ 1); against a closure, H2 and n2 are chosen
+//     optimistically inside their intervals.
+//   - edge bound: star distance ≥ 2·||E1| − |E2||, since every spoke
+//     appearing on one side and not the other costs 1 and edges contribute
+//     two spokes; |E2| is clamped optimistically into the closure interval.
+//
+// Nodes additionally carry a pivot and covering radius, so metric pruning
+// (as in mtree) composes with the structural closure bounds — mirroring how
+// closure-tree combines summary-based and distance-based pruning.
+package ctree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+// Options configures construction.
+type Options struct {
+	Branching int // fan-out of internal nodes (≥ 2)
+	LeafSize  int // max graphs per leaf (≥ 1)
+	// StarClosures additionally builds vertex-mapped star closures (see
+	// closure_stars.go) on internal nodes covering at least MinStarSize
+	// graphs, giving tighter (but costlier) structural pruning.
+	StarClosures bool
+	// MinStarSize gates star closures to nodes worth the Hungarian solve;
+	// 0 selects a default of 8.
+	MinStarSize int
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options { return Options{Branching: 4, LeafSize: 16, StarClosures: true} }
+
+// Tree is an immutable closure-tree over a database. It implements
+// metric.RangeSearcher for the star-matching metric supplied at build time.
+type Tree struct {
+	db             *graph.Database
+	m              metric.Metric
+	root           *node
+	buildDistances int64
+	// prunedByClosure counts subtrees skipped by the structural closure
+	// bound alone (metric pruning would not have caught them).
+	prunedByClosure int64
+	// prunedByStars counts subtrees skipped by the star-closure bound.
+	prunedByStars int64
+}
+
+// closure is the structural summary of a subtree.
+type closure struct {
+	minN, maxN int
+	minE, maxE int
+	// maxLabel[l] is the maximum count of vertex label l in any member.
+	maxLabel map[graph.Label]int
+}
+
+func newClosure() *closure {
+	return &closure{minN: math.MaxInt32, minE: math.MaxInt32, maxLabel: make(map[graph.Label]int)}
+}
+
+func (c *closure) absorb(g *graph.Graph) {
+	n, e := g.Order(), g.Size()
+	if n < c.minN {
+		c.minN = n
+	}
+	if n > c.maxN {
+		c.maxN = n
+	}
+	if e < c.minE {
+		c.minE = e
+	}
+	if e > c.maxE {
+		c.maxE = e
+	}
+	for l, cnt := range g.LabelHistogram() {
+		if cnt > c.maxLabel[l] {
+			c.maxLabel[l] = cnt
+		}
+	}
+}
+
+// lowerBound returns a lower bound on the star distance between g and every
+// member of the closure.
+func (c *closure) lowerBound(g *graph.Graph) float64 {
+	n1, e1 := g.Order(), g.Size()
+	// Edge bound with |E2| clamped into [minE, maxE].
+	e2 := clamp(e1, c.minE, c.maxE)
+	edgeLB := 2 * abs(e1-e2)
+	// Label bound: optimistic intersection uses the per-label maxima; n2 is
+	// clamped to minimize max(n1, n2) − |H1 ∩ H2|.
+	inter := 0
+	for l, cnt := range g.LabelHistogram() {
+		if m := c.maxLabel[l]; m < cnt {
+			inter += m
+		} else {
+			inter += cnt
+		}
+	}
+	n2 := clamp(n1, c.minN, c.maxN)
+	big := n1
+	if n2 > big {
+		big = n2
+	}
+	labelLB := big - inter
+	if labelLB < 0 {
+		labelLB = 0
+	}
+	lb := float64(edgeLB)
+	if float64(labelLB) > lb {
+		lb = float64(labelLB)
+	}
+	return lb
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+type node struct {
+	pivot    graph.ID
+	radius   float64
+	cl       *closure
+	cs       *closureStars // nil unless star closures are enabled and sized
+	children []*node
+	entries  []entry
+}
+
+type entry struct {
+	id graph.ID
+	d  float64 // distance to the leaf pivot
+}
+
+// Build bulk-loads a closure-tree over db under metric m. The metric must be
+// the star-matching distance (or any metric the closure bounds are valid
+// for).
+func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Tree, error) {
+	if opt.Branching < 2 {
+		return nil, fmt.Errorf("ctree: branching %d < 2", opt.Branching)
+	}
+	if opt.LeafSize < 1 {
+		return nil, fmt.Errorf("ctree: leaf size %d < 1", opt.LeafSize)
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("ctree: empty database")
+	}
+	t := &Tree{db: db, m: m}
+	ids := make([]graph.ID, db.Len())
+	for i := range ids {
+		ids[i] = graph.ID(i)
+	}
+	t.root = t.build(ids, opt, rng)
+	return t, nil
+}
+
+func (t *Tree) dist(a, b graph.ID) float64 {
+	t.buildDistances++
+	return t.m.Distance(a, b)
+}
+
+func (t *Tree) build(ids []graph.ID, opt Options, rng *rand.Rand) *node {
+	pivot := ids[rng.Intn(len(ids))]
+	n := &node{pivot: pivot, cl: newClosure()}
+	for _, id := range ids {
+		n.cl.absorb(t.db.Graph(id))
+	}
+	minStar := opt.MinStarSize
+	if minStar <= 0 {
+		minStar = 8
+	}
+	if opt.StarClosures && len(ids) >= minStar {
+		n.cs = &closureStars{}
+		for _, id := range ids {
+			n.cs.absorbGraph(t.db.Graph(id))
+		}
+	}
+	if len(ids) <= opt.LeafSize {
+		for _, id := range ids {
+			d := t.dist(pivot, id)
+			n.entries = append(n.entries, entry{id, d})
+			if d > n.radius {
+				n.radius = d
+			}
+		}
+		return n
+	}
+	k := opt.Branching
+	if k > len(ids) {
+		k = len(ids)
+	}
+	pivots := []graph.ID{pivot}
+	minDist := make([]float64, len(ids))
+	assign := make([]int, len(ids))
+	for i, id := range ids {
+		minDist[i] = t.dist(pivot, id)
+		if minDist[i] > n.radius {
+			n.radius = minDist[i]
+		}
+	}
+	for len(pivots) < k {
+		best, bestD := -1, -1.0
+		for i := range ids {
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if bestD == 0 {
+			break
+		}
+		p := ids[best]
+		pi := len(pivots)
+		pivots = append(pivots, p)
+		for i, id := range ids {
+			if d := t.dist(p, id); d < minDist[i] {
+				minDist[i] = d
+				assign[i] = pi
+			}
+		}
+	}
+	if len(pivots) == 1 {
+		for _, id := range ids {
+			n.entries = append(n.entries, entry{id, 0})
+		}
+		return n
+	}
+	for p := range pivots {
+		var sub []graph.ID
+		for i, id := range ids {
+			if assign[i] == p {
+				sub = append(sub, id)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		n.children = append(n.children, t.build(sub, opt, rng))
+	}
+	return n
+}
+
+// Range implements metric.RangeSearcher.
+func (t *Tree) Range(center graph.ID, radius float64) []graph.ID {
+	var out []graph.ID
+	g := t.db.Graph(center)
+	t.search(t.root, center, g, radius, &out)
+	return out
+}
+
+func (t *Tree) search(n *node, center graph.ID, g *graph.Graph, radius float64, out *[]graph.ID) {
+	// Structural closure pruning first: it costs no distance computation.
+	if n.cl.lowerBound(g) > radius {
+		t.prunedByClosure++
+		return
+	}
+	// Star-closure pruning: about as expensive as one distance computation,
+	// so it runs only where construction decided it pays (large subtrees).
+	if n.cs != nil && n.cs.lowerBound(g) > radius {
+		t.prunedByStars++
+		return
+	}
+	dp := t.m.Distance(center, n.pivot)
+	if dp > n.radius+radius {
+		return
+	}
+	if n.entries != nil {
+		for _, e := range n.entries {
+			if math.Abs(dp-e.d) > radius {
+				continue
+			}
+			if dp+e.d <= radius {
+				*out = append(*out, e.id)
+				continue
+			}
+			if t.m.Distance(center, e.id) <= radius {
+				*out = append(*out, e.id)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.search(c, center, g, radius, out)
+	}
+}
+
+// BuildDistances reports how many distance computations construction issued.
+func (t *Tree) BuildDistances() int64 { return t.buildDistances }
+
+// ClosurePrunes reports how many subtrees the structural closure bound
+// discarded across all Range calls so far.
+func (t *Tree) ClosurePrunes() int64 { return t.prunedByClosure }
+
+// StarPrunes reports how many subtrees the star-closure bound discarded
+// across all Range calls so far.
+func (t *Tree) StarPrunes() int64 { return t.prunedByStars }

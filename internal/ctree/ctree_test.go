@@ -1,0 +1,188 @@
+package ctree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"graphrep/internal/ged"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+func randDB(n int, seed int64) (*graph.Database, metric.Metric) {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := make([]*graph.Graph, n)
+	for i := range graphs {
+		order := 2 + rng.Intn(8)
+		b := graph.NewBuilder(order)
+		for v := 0; v < order; v++ {
+			b.AddVertex(graph.Label(rng.Intn(4)))
+		}
+		for u := 0; u < order; u++ {
+			for v := u + 1; v < order; v++ {
+				if rng.Float64() < 0.3 {
+					b.AddEdge(u, v, 0)
+				}
+			}
+		}
+		g, err := b.Build(graph.ID(i))
+		if err != nil {
+			panic(err)
+		}
+		graphs[i] = g
+	}
+	db, err := graph.NewDatabase(graphs)
+	if err != nil {
+		panic(err)
+	}
+	return db, metric.NewCache(metric.Star(db))
+}
+
+func sortIDs(ids []graph.ID) []graph.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// The closure lower bound must never exceed the true star distance — the
+// correctness condition for closure pruning.
+func TestClosureLowerBoundSound(t *testing.T) {
+	db, _ := randDB(40, 1)
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build a closure over a random subset and check the bound against
+		// every absorbed member for a random query graph.
+		cl := newClosure()
+		var members []graph.ID
+		for i := 0; i < db.Len(); i++ {
+			if r.Float64() < 0.3 {
+				cl.absorb(db.Graph(graph.ID(i)))
+				members = append(members, graph.ID(i))
+			}
+		}
+		if len(members) == 0 {
+			return true
+		}
+		q := db.Graph(graph.ID(r.Intn(db.Len())))
+		lb := cl.lowerBound(q)
+		for _, id := range members {
+			if lb > ged.StarDistance(q, db.Graph(id))+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	db, m := randDB(70, 3)
+	tree, err := Build(db, m, Options{Branching: 3, LeafSize: 4}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	lin := metric.NewLinearScan(db.Len(), m)
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		center := graph.ID(r.Intn(db.Len()))
+		radius := r.Float64() * 14
+		got := sortIDs(tree.Range(center, radius))
+		want := sortIDs(lin.Range(center, radius))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	db, m := randDB(5, 6)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(db, m, Options{Branching: 1, LeafSize: 2}, rng); err == nil {
+		t.Error("branching=1 accepted")
+	}
+	if _, err := Build(db, m, Options{Branching: 2, LeafSize: 0}, rng); err == nil {
+		t.Error("leafSize=0 accepted")
+	}
+	empty, _ := graph.NewDatabase(nil)
+	if _, err := Build(empty, m, DefaultOptions(), rng); err == nil {
+		t.Error("empty db accepted")
+	}
+}
+
+func TestClosurePruningFires(t *testing.T) {
+	// Two structurally disjoint families (different labels, very different
+	// sizes): small-radius queries from one family should closure-prune the
+	// other family's subtree at least once.
+	var graphs []*graph.Graph
+	id := 0
+	for i := 0; i < 20; i++ {
+		b := graph.NewBuilder(3)
+		for v := 0; v < 3; v++ {
+			b.AddVertex(1)
+		}
+		b.AddEdge(0, 1, 0)
+		g, _ := b.Build(graph.ID(id))
+		graphs = append(graphs, g)
+		id++
+	}
+	for i := 0; i < 20; i++ {
+		b := graph.NewBuilder(15)
+		for v := 0; v < 15; v++ {
+			b.AddVertex(7)
+		}
+		for v := 0; v+1 < 15; v++ {
+			b.AddEdge(v, v+1, 0)
+		}
+		g, _ := b.Build(graph.ID(id))
+		graphs = append(graphs, g)
+		id++
+	}
+	db, _ := graph.NewDatabase(graphs)
+	m := metric.NewCache(metric.Star(db))
+	tree, err := Build(db, m, Options{Branching: 2, LeafSize: 4}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tree.Range(graph.ID(i), 1)
+	}
+	if tree.ClosurePrunes() == 0 {
+		t.Error("closure pruning never fired on disjoint families")
+	}
+	if tree.BuildDistances() <= 0 {
+		t.Error("no build distances recorded")
+	}
+}
+
+func TestRangeIncludesSelf(t *testing.T) {
+	db, m := randDB(25, 8)
+	tree, err := Build(db, m, DefaultOptions(), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		found := false
+		for _, id := range tree.Range(graph.ID(i), 0) {
+			if id == graph.ID(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("graph %d not in its own radius-0 range", i)
+		}
+	}
+}

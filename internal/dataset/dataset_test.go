@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"graphrep/internal/ged"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+	"graphrep/internal/stats"
+)
+
+func TestPresetsProduceValidDatabases(t *testing.T) {
+	for _, name := range Names() {
+		db, err := ByName(name, 80, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if db.Len() != 80 {
+			t.Fatalf("%s: len = %d", name, db.Len())
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", name, err)
+		}
+		st := db.Stats()
+		if st.AvgNodes < 2 || st.AvgEdges < 1 {
+			t.Errorf("%s: degenerate stats %+v", name, st)
+		}
+	}
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := DUDLike(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DUDLike(40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		ga, gb := a.Graph(graph.ID(i)), b.Graph(graph.ID(i))
+		if ga.Order() != gb.Order() || ga.Size() != gb.Size() {
+			t.Fatalf("graph %d differs structurally", i)
+		}
+		for v := 0; v < ga.Order(); v++ {
+			if ga.VertexLabel(v) != gb.VertexLabel(v) {
+				t.Fatalf("graph %d label %d differs", i, v)
+			}
+		}
+		for d := range ga.Features() {
+			if ga.Features()[d] != gb.Features()[d] {
+				t.Fatalf("graph %d feature %d differs", i, d)
+			}
+		}
+	}
+	c, err := DUDLike(40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		if a.Graph(graph.ID(i)).Order() != c.Graph(graph.ID(i)).Order() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical structure sequence")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{N: 5, MinOrder: 3, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{N: 0, MinOrder: 3, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1},
+		{N: 5, MinOrder: 1, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1},
+		{N: 5, MinOrder: 6, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1},
+		{N: 5, MinOrder: 3, MaxOrder: 5, VertexLabels: 0, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1},
+		{N: 5, MinOrder: 3, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 0, FeatureDim: 1},
+		{N: 5, MinOrder: 3, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 0},
+		{N: 5, MinOrder: 3, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1, OutlierFrac: 2},
+		{N: 5, MinOrder: 3, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1, Edits: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := Generate(c); err == nil {
+			t.Errorf("Generate accepted bad config %d", i)
+		}
+	}
+}
+
+// Families must be structurally tight: intra-family distances should be much
+// smaller than inter-family distances on average. This is what makes the
+// datasets meaningful for representative queries.
+func TestFamiliesAreStructurallyClustered(t *testing.T) {
+	cfg := Config{
+		N: 60, Seed: 3,
+		MinOrder: 10, MaxOrder: 14,
+		VertexLabels: 8, EdgeLabels: 2,
+		MeanFamily: 15, OutlierFrac: 0, Edits: 2,
+		FeatureDim: 2, FeatureNoise: 0.05,
+	}
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metric.NewCache(metric.Star(db))
+	// Recover families by feature profile proximity: members share a
+	// profile, so feature distance identifies the planted partition.
+	var intra, inter []float64
+	for i := 0; i < db.Len(); i++ {
+		for j := i + 1; j < db.Len(); j++ {
+			fi, fj := db.Graph(graph.ID(i)).Features(), db.Graph(graph.ID(j)).Features()
+			fd := math.Hypot(fi[0]-fj[0], fi[1]-fj[1])
+			d := m.Distance(graph.ID(i), graph.ID(j))
+			if fd < 0.12 {
+				intra = append(intra, d)
+			} else if fd > 0.5 {
+				inter = append(inter, d)
+			}
+		}
+	}
+	if len(intra) < 10 || len(inter) < 10 {
+		t.Skipf("too few pairs classified: intra=%d inter=%d", len(intra), len(inter))
+	}
+	mi, mo := stats.Mean(intra), stats.Mean(inter)
+	if mi >= mo {
+		t.Errorf("intra-family mean distance %v >= inter-family %v", mi, mo)
+	}
+}
+
+// The Amazon-like preset must have a wider distance spread than the DUD-like
+// preset — the property that drives the paper's per-dataset θ choices.
+func TestAmazonSpreadExceedsDUD(t *testing.T) {
+	dud, err := DUDLike(50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amz, err := AmazonLike(50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(db *graph.Database) float64 {
+		m := metric.Star(db)
+		var ds []float64
+		for i := 0; i < db.Len(); i++ {
+			for j := i + 1; j < db.Len(); j += 3 {
+				ds = append(ds, m.Distance(graph.ID(i), graph.ID(j)))
+			}
+		}
+		return stats.StdDev(ds)
+	}
+	if sd, sa := spread(dud), spread(amz); sa <= sd {
+		t.Errorf("amazon σ=%v not wider than dud σ=%v", sa, sd)
+	}
+}
+
+func TestGraphsAreConnectedEnough(t *testing.T) {
+	// Scaffolds attach every vertex to an earlier one, so members should
+	// have at least order-1 edges (pendant additions preserve this).
+	db, err := DUDLike(30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range db.Graphs() {
+		if g.Size() < g.Order()-1 {
+			t.Errorf("graph %d: %d edges for %d vertices", g.ID(), g.Size(), g.Order())
+		}
+	}
+}
+
+func TestMaxDegreeCapRespected(t *testing.T) {
+	db, err := DUDLike(60, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range db.Graphs() {
+		for v := 0; v < g.Order(); v++ {
+			if d := g.Degree(v); d > 4 {
+				t.Fatalf("graph %d vertex %d has degree %d > valence cap 4", g.ID(), v, d)
+			}
+		}
+	}
+	// Config validation.
+	bad := Config{N: 5, MinOrder: 3, MaxOrder: 5, VertexLabels: 2, EdgeLabels: 1, MeanFamily: 3, FeatureDim: 1, MaxDegree: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("MaxDegree=1 accepted")
+	}
+}
+
+func TestPerturbationsStayClose(t *testing.T) {
+	// Members of one family should sit within a bounded star distance of
+	// each other: each edit moves the star distance by O(1) per incident
+	// star.
+	cfg := Config{
+		N: 12, Seed: 9,
+		MinOrder: 10, MaxOrder: 10,
+		VertexLabels: 5, EdgeLabels: 2,
+		MeanFamily: 50, OutlierFrac: 0, Edits: 1,
+		FeatureDim: 1, FeatureNoise: 0.01,
+	}
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < db.Len(); i++ {
+		d := ged.StarDistance(db.Graph(0), db.Graph(graph.ID(i)))
+		// One edit touches at most a handful of stars; 2 edits across the
+		// pair bound the distance well below scaffold-scale distances.
+		if d > 20 {
+			t.Errorf("family member %d at star distance %v from member 0", i, d)
+		}
+	}
+}

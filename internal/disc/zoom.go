@@ -1,0 +1,127 @@
+package disc
+
+import (
+	"fmt"
+
+	"graphrep/internal/bitset"
+	"graphrep/internal/core"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+// The DisC paper defines adaptive zooming: given a DisC answer at θ, derive
+// an answer at a smaller radius (zoom-in: finer-grained, larger answer) or a
+// larger radius (zoom-out: coarser, smaller answer) while reusing the
+// current answer instead of recomputing from scratch. These operators are
+// what the paper's Fig. 6(i) refinement comparison exercises on the DisC
+// side.
+
+// ZoomIn adapts a DisC answer computed at some θ to a smaller radius
+// newTheta: current answer objects are kept (they remain mutually
+// independent at any smaller radius) and the objects they no longer cover
+// are covered greedily by fresh picks.
+func ZoomIn(db *graph.Database, rs metric.RangeSearcher, relevance core.Relevance, answer []graph.ID, newTheta float64, maxSize int) (*Result, error) {
+	if relevance == nil {
+		return nil, fmt.Errorf("disc: nil relevance function")
+	}
+	if newTheta < 0 {
+		return nil, fmt.Errorf("disc: negative theta %v", newTheta)
+	}
+	rel := core.Relevant(db, relevance)
+	nb := core.RangeNeighborhoods(db, rs, rel, newTheta)
+	res := &Result{Relevant: len(rel)}
+	if len(rel) == 0 {
+		res.Complete = true
+		return res, nil
+	}
+	covered := bitset.New(len(rel))
+	inAnswer := make([]bool, len(rel))
+	// Seed with the old answer (still independent at the smaller radius).
+	for _, id := range answer {
+		p := nb.Pos[id]
+		if p < 0 || inAnswer[p] {
+			continue
+		}
+		inAnswer[p] = true
+		covered.Or(nb.Sets[p])
+		res.Answer = append(res.Answer, id)
+	}
+	extendCover(nb, covered, inAnswer, res, maxSize)
+	res.Covered = covered.Count()
+	res.Complete = res.Covered == len(rel)
+	return res, nil
+}
+
+// ZoomOut adapts a DisC answer to a larger radius newTheta: a maximal
+// independent subset of the current answer (answers at the old radius may be
+// closer than the new one) seeds the cover, and any remaining uncovered
+// objects are covered greedily. The result is usually much smaller than the
+// zoomed-in answer.
+func ZoomOut(db *graph.Database, rs metric.RangeSearcher, relevance core.Relevance, answer []graph.ID, newTheta float64, maxSize int) (*Result, error) {
+	if relevance == nil {
+		return nil, fmt.Errorf("disc: nil relevance function")
+	}
+	if newTheta < 0 {
+		return nil, fmt.Errorf("disc: negative theta %v", newTheta)
+	}
+	rel := core.Relevant(db, relevance)
+	nb := core.RangeNeighborhoods(db, rs, rel, newTheta)
+	res := &Result{Relevant: len(rel)}
+	if len(rel) == 0 {
+		res.Complete = true
+		return res, nil
+	}
+	covered := bitset.New(len(rel))
+	inAnswer := make([]bool, len(rel))
+	// Greedily keep old answers by coverage, skipping those now within
+	// newTheta of an already-kept answer (independence at the new radius).
+	for {
+		best, bestGain := -1, 0
+		for _, id := range answer {
+			p := nb.Pos[id]
+			if p < 0 || inAnswer[p] || covered.Contains(p) {
+				continue
+			}
+			if gain := nb.Sets[p].CountAndNot(covered); gain > bestGain {
+				best, bestGain = p, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		inAnswer[best] = true
+		covered.Or(nb.Sets[best])
+		res.Answer = append(res.Answer, rel[best])
+		if maxSize > 0 && len(res.Answer) >= maxSize {
+			break
+		}
+	}
+	extendCover(nb, covered, inAnswer, res, maxSize)
+	res.Covered = covered.Count()
+	res.Complete = res.Covered == len(rel)
+	return res, nil
+}
+
+// extendCover runs the Grey-Greedy loop until full coverage or maxSize.
+func extendCover(nb *core.Neighborhoods, covered *bitset.Set, inAnswer []bool, res *Result, maxSize int) {
+	for covered.Count() < len(nb.Rel) {
+		if maxSize > 0 && len(res.Answer) >= maxSize {
+			return
+		}
+		best, bestGain := -1, 0
+		for i := range nb.Rel {
+			if inAnswer[i] || covered.Contains(i) {
+				continue
+			}
+			if gain := nb.Sets[i].CountAndNot(covered); gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return
+		}
+		inAnswer[best] = true
+		covered.Or(nb.Sets[best])
+		res.Answer = append(res.Answer, nb.Rel[best])
+	}
+}

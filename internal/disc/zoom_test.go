@@ -1,0 +1,114 @@
+package disc
+
+import (
+	"testing"
+
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+func zoomFixture(t *testing.T) (*graph.Database, metric.Metric, metric.RangeSearcher, *Result) {
+	t.Helper()
+	db, m := randDB(t, 80, 40)
+	rs := metric.NewLinearScan(db.Len(), m)
+	base, err := Cover(db, rs, allRelevant, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Complete {
+		t.Fatal("base cover incomplete")
+	}
+	return db, m, rs, base
+}
+
+func TestZoomInCoversAtFinerRadius(t *testing.T) {
+	db, m, rs, base := zoomFixture(t)
+	zoomed, err := ZoomIn(db, rs, allRelevant, base.Answer, 2, 0)
+	if err != nil {
+		t.Fatalf("ZoomIn: %v", err)
+	}
+	if !zoomed.Complete {
+		t.Fatal("zoom-in cover incomplete")
+	}
+	// Finer radius needs at least as many answers.
+	if len(zoomed.Answer) < len(base.Answer) {
+		t.Errorf("zoom-in shrank the answer: %d -> %d", len(base.Answer), len(zoomed.Answer))
+	}
+	// Every old answer object is retained.
+	old := make(map[graph.ID]bool)
+	for _, id := range zoomed.Answer {
+		old[id] = true
+	}
+	for _, id := range base.Answer {
+		if !old[id] {
+			t.Errorf("zoom-in dropped old answer %d", id)
+		}
+	}
+	// Coverage at the new radius.
+	for i := 0; i < db.Len(); i++ {
+		ok := false
+		for _, a := range zoomed.Answer {
+			if m.Distance(graph.ID(i), a) <= 2 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("object %d uncovered after zoom-in", i)
+		}
+	}
+}
+
+func TestZoomOutShrinksAndStaysIndependent(t *testing.T) {
+	db, m, rs, base := zoomFixture(t)
+	zoomed, err := ZoomOut(db, rs, allRelevant, base.Answer, 8, 0)
+	if err != nil {
+		t.Fatalf("ZoomOut: %v", err)
+	}
+	if !zoomed.Complete {
+		t.Fatal("zoom-out cover incomplete")
+	}
+	if len(zoomed.Answer) > len(base.Answer) {
+		t.Errorf("zoom-out grew the answer: %d -> %d", len(base.Answer), len(zoomed.Answer))
+	}
+	if !Independent(m, zoomed.Answer, 8) {
+		t.Error("zoom-out answer not independent at the new radius")
+	}
+	_ = db
+}
+
+func TestZoomTruncation(t *testing.T) {
+	db, _, rs, base := zoomFixture(t)
+	trunc, err := ZoomIn(db, rs, allRelevant, base.Answer[:2], 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trunc.Answer) > 3 {
+		t.Errorf("maxSize ignored: %d answers", len(trunc.Answer))
+	}
+}
+
+func TestZoomErrorsAndEmpty(t *testing.T) {
+	db, _, rs, base := zoomFixture(t)
+	if _, err := ZoomIn(db, rs, nil, base.Answer, 2, 0); err == nil {
+		t.Error("ZoomIn nil relevance accepted")
+	}
+	if _, err := ZoomOut(db, rs, nil, base.Answer, 8, 0); err == nil {
+		t.Error("ZoomOut nil relevance accepted")
+	}
+	if _, err := ZoomIn(db, rs, allRelevant, base.Answer, -1, 0); err == nil {
+		t.Error("ZoomIn negative theta accepted")
+	}
+	if _, err := ZoomOut(db, rs, allRelevant, base.Answer, -1, 0); err == nil {
+		t.Error("ZoomOut negative theta accepted")
+	}
+	none := func([]float64) bool { return false }
+	in, err := ZoomIn(db, rs, none, base.Answer, 2, 0)
+	if err != nil || !in.Complete || len(in.Answer) != 0 {
+		t.Errorf("ZoomIn empty relevant: %+v, %v", in, err)
+	}
+	out, err := ZoomOut(db, rs, none, base.Answer, 8, 0)
+	if err != nil || !out.Complete || len(out.Answer) != 0 {
+		t.Errorf("ZoomOut empty relevant: %+v, %v", out, err)
+	}
+}

@@ -1,0 +1,139 @@
+package div
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrep/internal/core"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+func randDB(t testing.TB, n int, seed int64) (*graph.Database, metric.Metric) {
+	if t != nil {
+		t.Helper()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	graphs := make([]*graph.Graph, n)
+	for i := range graphs {
+		order := 2 + rng.Intn(6)
+		b := graph.NewBuilder(order)
+		for v := 0; v < order; v++ {
+			b.AddVertex(graph.Label(rng.Intn(3)))
+		}
+		for u := 0; u < order; u++ {
+			for v := u + 1; v < order; v++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(u, v, 0)
+				}
+			}
+		}
+		b.SetFeatures([]float64{rng.Float64()})
+		g, err := b.Build(graph.ID(i))
+		if err != nil {
+			panic(err)
+		}
+		graphs[i] = g
+	}
+	db, err := graph.NewDatabase(graphs)
+	if err != nil {
+		panic(err)
+	}
+	return db, metric.NewCache(metric.Star(db))
+}
+
+func allRelevant([]float64) bool { return true }
+
+func TestTopKSeparationInvariant(t *testing.T) {
+	db, m := randDB(t, 60, 1)
+	rs := metric.NewLinearScan(db.Len(), m)
+	for _, sep := range []float64{4, 8} {
+		res, err := TopK(db, rs, allRelevant, 4, sep, 10)
+		if err != nil {
+			t.Fatalf("TopK(sep=%v): %v", sep, err)
+		}
+		if len(res.Answer) == 0 {
+			t.Fatalf("empty answer at sep=%v", sep)
+		}
+		if !Separated(m, res.Answer, sep) {
+			t.Errorf("answer violates %v-separation", sep)
+		}
+		if len(res.Scores) != len(res.Answer) {
+			t.Errorf("scores/answer length mismatch")
+		}
+	}
+}
+
+func TestTopKScoresNonIncreasing(t *testing.T) {
+	db, m := randDB(t, 60, 2)
+	rs := metric.NewLinearScan(db.Len(), m)
+	res, err := TopK(db, rs, allRelevant, 4, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Scores); i++ {
+		if res.Scores[i] > res.Scores[i-1] {
+			t.Errorf("scores increased: %v", res.Scores)
+		}
+	}
+}
+
+// DIV(2θ) can only be more restrictive than DIV(θ): its answer under the
+// same budget is no larger.
+func TestStricterSeparationShrinksAnswer(t *testing.T) {
+	db, m := randDB(t, 80, 3)
+	rs := metric.NewLinearScan(db.Len(), m)
+	lo, err := TopK(db, rs, allRelevant, 4, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := TopK(db, rs, allRelevant, 4, 8, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi.Answer) > len(lo.Answer) {
+		t.Errorf("DIV(2θ) answer %d larger than DIV(θ) %d", len(hi.Answer), len(lo.Answer))
+	}
+}
+
+// Table 4's headline: the REP greedy achieves at least the representative
+// power of DIV under the same budget (greedy directly maximizes π; DIV
+// maximizes a surrogate).
+func TestREPDominatesDIVOnPower(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		db, m := randDB(t, 70, 10+seed)
+		rs := metric.NewLinearScan(db.Len(), m)
+		theta, k := 4.0, 8
+		rep, err := core.BaselineGreedy(db, m, core.Query{Relevance: allRelevant, Theta: theta, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := TopK(db, rs, allRelevant, theta, theta, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := core.Relevant(db, allRelevant)
+		divPower, _ := core.Power(db, m, rel, dv.Answer, theta)
+		if rep.Power < divPower-1e-9 {
+			t.Errorf("seed %d: REP π=%v < DIV π=%v", seed, rep.Power, divPower)
+		}
+	}
+}
+
+func TestTopKEmptyAndErrors(t *testing.T) {
+	db, m := randDB(t, 10, 4)
+	rs := metric.NewLinearScan(db.Len(), m)
+	res, err := TopK(db, rs, func([]float64) bool { return false }, 4, 4, 5)
+	if err != nil || len(res.Answer) != 0 {
+		t.Errorf("empty relevant: res=%+v err=%v", res, err)
+	}
+	if _, err := TopK(db, rs, nil, 4, 4, 5); err == nil {
+		t.Error("nil relevance accepted")
+	}
+	if _, err := TopK(db, rs, allRelevant, -1, 4, 5); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := TopK(db, rs, allRelevant, 4, 4, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package div
+
+import (
+	"fmt"
+	"sort"
+
+	"graphrep/internal/core"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+// alloc is one feasible in-component selection: j independent picks with
+// their total score.
+type alloc struct {
+	score int
+	picks []int // positions in the relevant list
+}
+
+// TopKCut runs the div-cut algorithm of Qin et al. — the variant the paper
+// benchmarks ("we use C-Tree to compute the 'diversity-graph', which is
+// subsequently used by the 'div-cut' algorithm"). The diversity graph over
+// the relevant objects (edges between objects ≤ minSep apart) is cut into
+// connected components; within each component the maximum-score independent
+// set of every size is found exactly by branch-and-bound (components larger
+// than exactLimit fall back to greedy-by-score); a knapsack DP across
+// components assembles the best global budget allocation.
+//
+// Scores are |N_θ(g) ∩ L_q| as in TopK; minSep is θ for DIV(θ) or 2θ for
+// DIV(2θ). exactLimit ≤ 0 selects a default of 18.
+func TopKCut(db *graph.Database, rs metric.RangeSearcher, relevance core.Relevance, theta, minSep float64, k, exactLimit int) (*Result, error) {
+	if relevance == nil {
+		return nil, fmt.Errorf("div: nil relevance function")
+	}
+	if theta < 0 || minSep < 0 {
+		return nil, fmt.Errorf("div: negative threshold")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("div: non-positive k %d", k)
+	}
+	if exactLimit <= 0 {
+		exactLimit = 18
+	}
+	rel := core.Relevant(db, relevance)
+	res := &Result{}
+	if len(rel) == 0 {
+		return res, nil
+	}
+	relPos := make(map[graph.ID]int, len(rel))
+	for i, id := range rel {
+		relPos[id] = i
+	}
+	// Static scores and the diversity graph, via range queries.
+	scores := make([]int, len(rel))
+	sep := make([][]int, len(rel))
+	for i, id := range rel {
+		for _, hit := range rs.Range(id, theta) {
+			if _, ok := relPos[hit]; ok {
+				scores[i]++
+			}
+		}
+		for _, hit := range rs.Range(id, minSep) {
+			if j, ok := relPos[hit]; ok && j != i {
+				sep[i] = append(sep[i], j)
+			}
+		}
+	}
+	// Cut: connected components of the diversity graph.
+	components := connectedComponents(len(rel), sep)
+	// Per-component tables: table[j] = best selection of exactly j picks.
+	perComp := make([][]alloc, len(components))
+	for ci, members := range components {
+		maxJ := len(members)
+		if maxJ > k {
+			maxJ = k
+		}
+		table := make([]alloc, maxJ+1)
+		for j := 1; j <= maxJ; j++ {
+			table[j].score = -1
+		}
+		if len(members) <= exactLimit {
+			exactIndependent(members, sep, scores, table)
+		} else {
+			greedyIndependent(members, sep, scores, table)
+		}
+		perComp[ci] = table
+	}
+	// Knapsack DP across components, carrying explicit pick sets (budgets
+	// are small, so this stays cheap).
+	dp := make([]alloc, k+1)
+	for j := 1; j <= k; j++ {
+		dp[j].score = -1
+	}
+	for _, table := range perComp {
+		next := make([]alloc, k+1)
+		for j := range next {
+			next[j].score = -1
+		}
+		for used := 0; used <= k; used++ {
+			if dp[used].score < 0 {
+				continue
+			}
+			for j, a := range table {
+				if a.score < 0 || used+j > k {
+					continue
+				}
+				if s := dp[used].score + a.score; s > next[used+j].score {
+					picks := make([]int, 0, len(dp[used].picks)+len(a.picks))
+					picks = append(picks, dp[used].picks...)
+					picks = append(picks, a.picks...)
+					next[used+j] = alloc{score: s, picks: picks}
+				}
+			}
+		}
+		dp = next
+	}
+	best := 0
+	for j := 1; j <= k; j++ {
+		if dp[j].score > dp[best].score {
+			best = j
+		}
+	}
+	picks := append([]int(nil), dp[best].picks...)
+	sort.Slice(picks, func(a, b int) bool {
+		if scores[picks[a]] != scores[picks[b]] {
+			return scores[picks[a]] > scores[picks[b]]
+		}
+		return rel[picks[a]] < rel[picks[b]]
+	})
+	for _, i := range picks {
+		res.Answer = append(res.Answer, rel[i])
+		res.Scores = append(res.Scores, scores[i])
+	}
+	return res, nil
+}
+
+// connectedComponents returns the vertex sets of the diversity graph's
+// components, each sorted ascending.
+func connectedComponents(n int, adj [][]int) [][]int {
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var components [][]int
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		var members []int
+		stack := []int{i}
+		comp[i] = len(components)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, v)
+			for _, w := range adj[v] {
+				if comp[w] < 0 {
+					comp[w] = len(components)
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(members)
+		components = append(components, members)
+	}
+	return components
+}
+
+// exactIndependent fills table[j] with the maximum-score independent set of
+// every size j within the component, by DFS over members in order with
+// conflict counting.
+func exactIndependent(members []int, sep [][]int, scores []int, table []alloc) {
+	pos := make(map[int]int, len(members))
+	for i, v := range members {
+		pos[v] = i
+	}
+	blocked := make([]int, len(members))
+	var picks []int
+	var dfs func(start, total int)
+	dfs = func(start, total int) {
+		if j := len(picks); j > 0 && j < len(table) && total > table[j].score {
+			table[j] = alloc{score: total, picks: append([]int(nil), picks...)}
+		}
+		if len(picks) >= len(table)-1 {
+			return
+		}
+		for i := start; i < len(members); i++ {
+			if blocked[i] > 0 {
+				continue
+			}
+			v := members[i]
+			picks = append(picks, v)
+			for _, w := range sep[v] {
+				if p, ok := pos[w]; ok {
+					blocked[p]++
+				}
+			}
+			dfs(i+1, total+scores[v])
+			for _, w := range sep[v] {
+				if p, ok := pos[w]; ok {
+					blocked[p]--
+				}
+			}
+			picks = picks[:len(picks)-1]
+		}
+	}
+	dfs(0, 0)
+}
+
+// greedyIndependent fills table with greedy-by-score prefix selections for
+// components too large for the exact search.
+func greedyIndependent(members []int, sep [][]int, scores []int, table []alloc) {
+	order := append([]int(nil), members...)
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	blocked := make(map[int]bool)
+	var picks []int
+	total := 0
+	for _, v := range order {
+		if len(picks) >= len(table)-1 {
+			break
+		}
+		if blocked[v] {
+			continue
+		}
+		picks = append(picks, v)
+		total += scores[v]
+		for _, w := range sep[v] {
+			blocked[w] = true
+		}
+		table[len(picks)] = alloc{score: total, picks: append([]int(nil), picks...)}
+	}
+}

@@ -1,0 +1,154 @@
+package div
+
+import (
+	"testing"
+
+	"graphrep/internal/core"
+	"graphrep/internal/metric"
+)
+
+func TestTopKCutSeparationAndScore(t *testing.T) {
+	db, m := randDB(t, 70, 20)
+	rs := metric.NewLinearScan(db.Len(), m)
+	theta := 4.0
+	for _, sep := range []float64{theta, 2 * theta} {
+		cut, err := TopKCut(db, rs, allRelevant, theta, sep, 8, 0)
+		if err != nil {
+			t.Fatalf("TopKCut(sep=%v): %v", sep, err)
+		}
+		if len(cut.Answer) == 0 {
+			t.Fatalf("empty answer at sep=%v", sep)
+		}
+		if !Separated(m, cut.Answer, sep) {
+			t.Errorf("div-cut answer violates %v-separation", sep)
+		}
+		// div-cut optimizes the same objective the greedy approximates: its
+		// total score must never be lower.
+		greedy, err := TopK(db, rs, allRelevant, theta, sep, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum(cut.Scores) < sum(greedy.Scores) {
+			t.Errorf("sep=%v: div-cut score %d < greedy score %d", sep, sum(cut.Scores), sum(greedy.Scores))
+		}
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestTopKCutRespectsBudget(t *testing.T) {
+	db, m := randDB(t, 60, 21)
+	rs := metric.NewLinearScan(db.Len(), m)
+	for _, k := range []int{1, 3, 10} {
+		res, err := TopKCut(db, rs, allRelevant, 4, 4, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answer) > k {
+			t.Errorf("k=%d: answer size %d", k, len(res.Answer))
+		}
+	}
+}
+
+func TestTopKCutGreedyFallback(t *testing.T) {
+	// exactLimit=1 forces the greedy path on every non-trivial component.
+	db, m := randDB(t, 50, 22)
+	rs := metric.NewLinearScan(db.Len(), m)
+	res, err := TopKCut(db, rs, allRelevant, 4, 4, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answer) == 0 {
+		t.Fatal("empty answer under fallback")
+	}
+	if !Separated(m, res.Answer, 4) {
+		t.Error("fallback answer violates separation")
+	}
+}
+
+func TestTopKCutErrorsAndEmpty(t *testing.T) {
+	db, m := randDB(t, 10, 23)
+	rs := metric.NewLinearScan(db.Len(), m)
+	if _, err := TopKCut(db, rs, nil, 4, 4, 3, 0); err == nil {
+		t.Error("nil relevance accepted")
+	}
+	if _, err := TopKCut(db, rs, allRelevant, -1, 4, 3, 0); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := TopKCut(db, rs, allRelevant, 4, 4, 0, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	res, err := TopKCut(db, rs, func([]float64) bool { return false }, 4, 4, 3, 0)
+	if err != nil || len(res.Answer) != 0 {
+		t.Errorf("empty relevant: %+v, %v", res, err)
+	}
+}
+
+func BenchmarkTopKCut(b *testing.B) {
+	db, m := randDB(nil, 80, 99)
+	rs := metric.NewLinearScan(db.Len(), m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopKCut(db, rs, allRelevant, 4, 4, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// On tiny instances, brute-force the maximum-score independent set and
+// confirm div-cut's exact path matches it.
+func TestTopKCutExactOptimality(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db, m := randDB(t, 12, 30+seed)
+		rs := metric.NewLinearScan(db.Len(), m)
+		theta, k := 4.0, 3
+		cut, err := TopKCut(db, rs, allRelevant, theta, theta, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := core.Relevant(db, allRelevant)
+		// Brute force over all subsets of size ≤ k.
+		score := func(i int) int {
+			s := 0
+			for _, j := range rel {
+				if m.Distance(rel[i], j) <= theta {
+					s++
+				}
+			}
+			return s
+		}
+		best := 0
+		var rec func(start int, chosen []int, total int)
+		rec = func(start int, chosen []int, total int) {
+			if total > best {
+				best = total
+			}
+			if len(chosen) == k {
+				return
+			}
+			for i := start; i < len(rel); i++ {
+				ok := true
+				for _, c := range chosen {
+					if m.Distance(rel[i], rel[c]) <= theta {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					rec(i+1, append(chosen, i), total+score(i))
+				}
+			}
+		}
+		rec(0, nil, 0)
+		if got := sum(cut.Scores); got != best {
+			t.Errorf("seed %d: div-cut score %d, optimal %d", seed, got, best)
+		}
+	}
+}

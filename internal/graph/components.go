@@ -1,0 +1,47 @@
+package graph
+
+// Connected reports whether the graph is connected (true for the empty and
+// single-vertex graphs).
+func (g *Graph) Connected() bool {
+	return len(g.Components()) <= 1
+}
+
+// Components returns the vertex sets of the graph's connected components,
+// each sorted ascending, ordered by their smallest vertex.
+func (g *Graph) Components() [][]int {
+	n := g.Order()
+	seen := make([]bool, n)
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, h := range g.adj[v] {
+				if !seen[h.to] {
+					seen[h.to] = true
+					stack = append(stack, h.to)
+				}
+			}
+		}
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// sortInts is insertion sort: component slices are small and this avoids an
+// import for one call site.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddVertex(0)
+	}
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(4, 5, 0)
+	g := b.MustBuild(0)
+	comps := g.Components()
+	want := [][]int{{0, 1, 2}, {3}, {4, 5}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Errorf("Components = %v, want %v", comps, want)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestConnectedCases(t *testing.T) {
+	empty := NewBuilder(0).MustBuild(0)
+	if !empty.Connected() {
+		t.Error("empty graph not connected")
+	}
+	single := NewBuilder(1)
+	single.AddVertex(1)
+	if !single.MustBuild(0).Connected() {
+		t.Error("single vertex not connected")
+	}
+	tri := NewBuilder(3)
+	for i := 0; i < 3; i++ {
+		tri.AddVertex(0)
+	}
+	tri.AddEdge(0, 1, 0)
+	tri.AddEdge(1, 2, 0)
+	if !tri.MustBuild(0).Connected() {
+		t.Error("path not connected")
+	}
+}
+
+// Property: component sizes sum to the order, and every edge stays within
+// one component.
+func TestComponentsPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), 0, 12)
+		comps := g.Components()
+		total := 0
+		compOf := make([]int, g.Order())
+		for ci, comp := range comps {
+			total += len(comp)
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		if total != g.Order() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if compOf[e.U] != compOf[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

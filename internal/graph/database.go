@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Database is an ordered collection of graphs. Graph IDs equal their position
+// in the collection; every index structure in this library addresses graphs
+// by ID.
+type Database struct {
+	graphs []*Graph
+}
+
+// NewDatabase assembles a database from graphs whose IDs must equal their
+// slice positions.
+func NewDatabase(graphs []*Graph) (*Database, error) {
+	for i, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("graph: nil graph at position %d", i)
+		}
+		if int(g.ID()) != i {
+			return nil, fmt.Errorf("graph: graph at position %d has id %d", i, g.ID())
+		}
+	}
+	return &Database{graphs: graphs}, nil
+}
+
+// Len returns the number of graphs.
+func (db *Database) Len() int { return len(db.graphs) }
+
+// Append adds a graph to the end of the database. Its ID must equal the
+// current length and its feature dimensionality must match. Append is not
+// safe to call concurrently with queries against the database.
+func (db *Database) Append(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("graph: nil graph")
+	}
+	if int(g.ID()) != len(db.graphs) {
+		return fmt.Errorf("graph: appended graph has id %d, want %d", g.ID(), len(db.graphs))
+	}
+	if len(db.graphs) > 0 && len(g.Features()) != db.FeatureDim() {
+		return fmt.Errorf("graph: appended feature dim %d, want %d", len(g.Features()), db.FeatureDim())
+	}
+	db.graphs = append(db.graphs, g)
+	return nil
+}
+
+// Graph returns the graph with the given id.
+func (db *Database) Graph(id ID) *Graph { return db.graphs[id] }
+
+// Graphs returns the underlying slice. The caller must not modify it.
+func (db *Database) Graphs() []*Graph { return db.graphs }
+
+// FeatureDim returns the dimensionality of the feature vectors, or 0 for an
+// empty database. All graphs are expected to share one dimensionality.
+func (db *Database) FeatureDim() int {
+	if len(db.graphs) == 0 {
+		return 0
+	}
+	return len(db.graphs[0].Features())
+}
+
+// Validate checks structural invariants of the database: consistent feature
+// dimensionality and well-formed graphs.
+func (db *Database) Validate() error {
+	dim := db.FeatureDim()
+	for _, g := range db.graphs {
+		if len(g.Features()) != dim {
+			return fmt.Errorf("graph %d: feature dim %d, want %d", g.ID(), len(g.Features()), dim)
+		}
+		for _, e := range g.Edges() {
+			if e.U < 0 || e.V >= g.Order() || e.U >= e.V {
+				return fmt.Errorf("graph %d: malformed edge %+v", g.ID(), e)
+			}
+		}
+		for _, f := range g.Features() {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("graph %d: non-finite feature %v", g.ID(), f)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a database the way Table 3 in the paper does.
+type Stats struct {
+	Graphs   int
+	AvgNodes float64
+	AvgEdges float64
+	MaxNodes int
+	MaxEdges int
+	Labels   int
+}
+
+// Stats computes summary statistics over the database.
+func (db *Database) Stats() Stats {
+	var s Stats
+	s.Graphs = len(db.graphs)
+	labels := make(map[Label]struct{})
+	for _, g := range db.graphs {
+		s.AvgNodes += float64(g.Order())
+		s.AvgEdges += float64(g.Size())
+		if g.Order() > s.MaxNodes {
+			s.MaxNodes = g.Order()
+		}
+		if g.Size() > s.MaxEdges {
+			s.MaxEdges = g.Size()
+		}
+		for _, l := range g.VertexLabels() {
+			labels[l] = struct{}{}
+		}
+	}
+	if s.Graphs > 0 {
+		s.AvgNodes /= float64(s.Graphs)
+		s.AvgEdges /= float64(s.Graphs)
+	}
+	s.Labels = len(labels)
+	return s
+}

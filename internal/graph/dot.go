@@ -1,0 +1,28 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, vertices labelled
+// "v<idx>:<label>" and edges annotated with their labels. Intended for
+// eyeballing answer sets (e.g. `dot -Tsvg`).
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=circle fontsize=10];\n")
+	for v := 0; v < g.Order(); v++ {
+		fmt.Fprintf(bw, "  n%d [label=\"v%d:%d\"];\n", v, v, g.VertexLabel(v))
+	}
+	for _, e := range g.Edges() {
+		if e.Label != 0 {
+			fmt.Fprintf(bw, "  n%d -- n%d [label=\"%d\"];\n", e.U, e.V, e.Label)
+		} else {
+			fmt.Fprintf(bw, "  n%d -- n%d;\n", e.U, e.V)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDatabase hardens the text parser: arbitrary input must either
+// parse into a database that validates and round-trips, or fail cleanly —
+// never panic or loop.
+func FuzzReadDatabase(f *testing.F) {
+	seeds := []string{
+		"",
+		"# empty\n",
+		"g 0 1 0 0\nv 3\n",
+		"g 0 2 1 1\nv 3 4\ne 0 1 7\nf 0.25\n",
+		"g 0 3 3 2\nv 1 2 3\ne 0 1 10\ne 1 2 11\ne 0 2 12\nf 0.5 1.5\n",
+		"g 0 1 0 0\nv 3\ng 1 1 0 0\nv 4\n",
+		"g 0 2 1 0\nv 1 1\ne 1 0 0\n",
+		"g 0 1 1 0\nv 1\ne 0 0 0\n",            // self loop
+		"g 0 1 0 0\nv 99999999999999\n",        // label overflow
+		"g 5 1 0 0\nv 3\n",                     // wrong id
+		"g 0 2 2 0\nv 1 1\ne 0 1 0\ne 0 1 1\n", // duplicate edge
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadDatabase(strings.NewReader(input))
+		if err != nil {
+			return // clean failure
+		}
+		if err := db.Validate(); err != nil {
+			t.Fatalf("parsed database fails validation: %v", err)
+		}
+		// Round trip must be stable.
+		var buf bytes.Buffer
+		if err := WriteDatabase(&buf, db); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		db2, err := ReadDatabase(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if db2.Len() != db.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", db2.Len(), db.Len())
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T, id ID) *Graph {
+	t.Helper()
+	b := NewBuilder(3)
+	b.AddVertex(1)
+	b.AddVertex(2)
+	b.AddVertex(3)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(1, 2, 11)
+	b.AddEdge(2, 0, 12)
+	b.SetFeatures([]float64{0.5, 1.5})
+	g, err := b.Build(id)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := triangle(t, 7)
+	if g.ID() != 7 {
+		t.Errorf("ID = %d, want 7", g.ID())
+	}
+	if g.Order() != 3 || g.Size() != 3 {
+		t.Errorf("order/size = %d/%d, want 3/3", g.Order(), g.Size())
+	}
+	if got := g.VertexLabel(1); got != 2 {
+		t.Errorf("VertexLabel(1) = %d, want 2", got)
+	}
+	if d := g.Degree(0); d != 2 {
+		t.Errorf("Degree(0) = %d, want 2", d)
+	}
+	if l, ok := g.EdgeLabel(2, 1); !ok || l != 11 {
+		t.Errorf("EdgeLabel(2,1) = %d,%v want 11,true", l, ok)
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("HasEdge(0,0) = true")
+	}
+	if !strings.Contains(g.String(), "|V|=3") {
+		t.Errorf("String() = %q", g.String())
+	}
+}
+
+func TestBuilderEdgeNormalization(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddVertex(0)
+	b.AddVertex(0)
+	b.AddEdge(1, 0, 5) // reversed endpoints must be normalized
+	g, err := b.Build(0)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	e := g.Edges()[0]
+	if e.U != 0 || e.V != 1 || e.Label != 5 {
+		t.Errorf("edge = %+v, want {0 1 5}", e)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(b *Builder)
+	}{
+		{"self-loop", func(b *Builder) { b.AddEdge(0, 0, 0) }},
+		{"out-of-range", func(b *Builder) { b.AddEdge(0, 9, 0) }},
+		{"negative", func(b *Builder) { b.AddEdge(-1, 0, 0) }},
+		{"duplicate", func(b *Builder) { b.AddEdge(0, 1, 0); b.AddEdge(1, 0, 3) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(2)
+			b.AddVertex(0)
+			b.AddVertex(0)
+			tc.mod(b)
+			if _, err := b.Build(0); err == nil {
+				t.Error("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := triangle(t, 0)
+	var got []int
+	g.Neighbors(1, func(w int, l Label) { got = append(got, w) })
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("neighbors of 1 = %v, want [0 2]", got)
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	g := triangle(t, 0)
+	vh := g.LabelHistogram()
+	if len(vh) != 3 || vh[1] != 1 {
+		t.Errorf("LabelHistogram = %v", vh)
+	}
+	eh := g.EdgeLabelHistogram()
+	if len(eh) != 3 || eh[10] != 1 {
+		t.Errorf("EdgeLabelHistogram = %v", eh)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := triangle(t, 0)
+	g2, err := g.Clone(1).Build(1)
+	if err != nil {
+		t.Fatalf("Clone Build: %v", err)
+	}
+	if g2.Order() != g.Order() || g2.Size() != g.Size() {
+		t.Error("clone differs structurally")
+	}
+	if !reflect.DeepEqual(g2.Features(), g.Features()) {
+		t.Error("clone features differ")
+	}
+}
+
+func TestDatabaseValidate(t *testing.T) {
+	db, err := NewDatabase([]*Graph{triangle(t, 0), triangle(t, 1)})
+	if err != nil {
+		t.Fatalf("NewDatabase: %v", err)
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if db.FeatureDim() != 2 {
+		t.Errorf("FeatureDim = %d, want 2", db.FeatureDim())
+	}
+	if _, err := NewDatabase([]*Graph{triangle(t, 5)}); err == nil {
+		t.Error("NewDatabase accepted wrong id")
+	}
+	if _, err := NewDatabase([]*Graph{nil}); err == nil {
+		t.Error("NewDatabase accepted nil graph")
+	}
+}
+
+func TestDatabaseStats(t *testing.T) {
+	db, _ := NewDatabase([]*Graph{triangle(t, 0), triangle(t, 1)})
+	s := db.Stats()
+	if s.Graphs != 2 || s.AvgNodes != 3 || s.AvgEdges != 3 || s.MaxNodes != 3 || s.Labels != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	empty, _ := NewDatabase(nil)
+	if s := empty.Stats(); s.Graphs != 0 || s.AvgNodes != 0 {
+		t.Errorf("empty Stats = %+v", s)
+	}
+}
+
+func TestStars(t *testing.T) {
+	g := triangle(t, 0)
+	stars := g.Stars()
+	if len(stars) != 3 {
+		t.Fatalf("len(stars) = %d", len(stars))
+	}
+	s0 := stars[0]
+	if s0.Center != 1 || s0.Degree() != 2 {
+		t.Errorf("star 0 = %+v", s0)
+	}
+	// Spokes must be sorted by (edge label, leaf label).
+	for _, s := range stars {
+		for i := 1; i < len(s.Spokes); i++ {
+			a, b := s.Spokes[i-1], s.Spokes[i]
+			if a.EdgeLabel > b.EdgeLabel || (a.EdgeLabel == b.EdgeLabel && a.LeafLabel > b.LeafLabel) {
+				t.Errorf("spokes unsorted: %+v", s.Spokes)
+			}
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := triangle(t, 0)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "tri"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "tri"`, "n0 [label=\"v0:1\"]", "n0 -- n1", "label=\"10\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Unlabelled edges omit the label attribute.
+	b := NewBuilder(2)
+	b.AddVertex(0)
+	b.AddVertex(0)
+	b.AddEdge(0, 1, 0)
+	buf.Reset()
+	if err := WriteDOT(&buf, b.MustBuild(1), "plain"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "label=\"0\"") {
+		t.Error("zero edge label rendered")
+	}
+}
+
+// randomGraph builds a random graph for property tests.
+func randomGraph(rng *rand.Rand, id ID, maxN int) *Graph {
+	n := 1 + rng.Intn(maxN)
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddVertex(Label(rng.Intn(5)))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.3 {
+				b.AddEdge(u, v, Label(rng.Intn(3)))
+			}
+		}
+	}
+	b.SetFeatures([]float64{rng.Float64(), rng.Float64()})
+	g, err := b.Build(id)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	graphs := make([]*Graph, 25)
+	for i := range graphs {
+		graphs[i] = randomGraph(rng, ID(i), 12)
+	}
+	db, err := NewDatabase(graphs)
+	if err != nil {
+		t.Fatalf("NewDatabase: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDatabase(&buf, db); err != nil {
+		t.Fatalf("WriteDatabase: %v", err)
+	}
+	got, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatalf("ReadDatabase: %v", err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("round trip len %d, want %d", got.Len(), db.Len())
+	}
+	for i := range graphs {
+		a, b := db.Graph(ID(i)), got.Graph(ID(i))
+		if !reflect.DeepEqual(a.VertexLabels(), b.VertexLabels()) {
+			t.Errorf("graph %d labels differ", i)
+		}
+		if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+			t.Errorf("graph %d edges differ", i)
+		}
+		if !reflect.DeepEqual(a.Features(), b.Features()) {
+			t.Errorf("graph %d features differ: %v vs %v", i, a.Features(), b.Features())
+		}
+	}
+}
+
+func TestReadDatabaseErrors(t *testing.T) {
+	bad := []string{
+		"x 0 0 0 0",
+		"g 0 1 0 0\nw 3",
+		"g 0 1 1 0\nv 3",
+		"g 0 1 1 0\nv 3\nq 0 0 0",
+		"g 0 1 0 2\nv 3\nf 1.0",
+		"g 0 2 0 0\nv 3 notalabel",
+	}
+	for i, s := range bad {
+		if _, err := ReadDatabase(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: ReadDatabase(%q) succeeded, want error", i, s)
+		}
+	}
+	// Comments and blank lines are allowed.
+	ok := "# comment\n\ng 0 1 0 0\nv 3\n"
+	db, err := ReadDatabase(strings.NewReader(ok))
+	if err != nil || db.Len() != 1 {
+		t.Errorf("ReadDatabase with comments: %v, len %d", err, db.Len())
+	}
+}
+
+// Property: stars of any graph preserve the degree sequence and label multiset.
+func TestStarsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), 0, 10)
+		stars := g.Stars()
+		if len(stars) != g.Order() {
+			return false
+		}
+		spokes := 0
+		for v, s := range stars {
+			if s.Center != g.VertexLabel(v) || s.Degree() != g.Degree(v) {
+				return false
+			}
+			spokes += s.Degree()
+		}
+		return spokes == 2*g.Size()
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

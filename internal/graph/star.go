@@ -1,0 +1,43 @@
+package graph
+
+import "sort"
+
+// Star is the 1-hop decomposition unit of Zeng et al. ("Comparing Stars",
+// VLDB 2009): a center vertex label plus the sorted multiset of (edge label,
+// leaf label) pairs around it. The star-matching distance in internal/ged
+// compares two graphs by optimally assigning their stars; with the metric
+// ground cost used there the resulting distance is itself a metric, which is
+// what makes every triangle-inequality theorem in the paper sound.
+type Star struct {
+	Center Label
+	// Spokes are sorted by (EdgeLabel, LeafLabel).
+	Spokes []Spoke
+}
+
+// Spoke is one incident edge of a star.
+type Spoke struct {
+	EdgeLabel Label
+	LeafLabel Label
+}
+
+// Degree returns the number of spokes.
+func (s Star) Degree() int { return len(s.Spokes) }
+
+// Stars returns the star decomposition of g: one star per vertex.
+func (g *Graph) Stars() []Star {
+	stars := make([]Star, g.Order())
+	for v := 0; v < g.Order(); v++ {
+		st := Star{Center: g.labels[v], Spokes: make([]Spoke, 0, len(g.adj[v]))}
+		for _, h := range g.adj[v] {
+			st.Spokes = append(st.Spokes, Spoke{EdgeLabel: h.label, LeafLabel: g.labels[h.to]})
+		}
+		sort.Slice(st.Spokes, func(i, j int) bool {
+			if st.Spokes[i].EdgeLabel != st.Spokes[j].EdgeLabel {
+				return st.Spokes[i].EdgeLabel < st.Spokes[j].EdgeLabel
+			}
+			return st.Spokes[i].LeafLabel < st.Spokes[j].LeafLabel
+		})
+		stars[v] = st
+	}
+	return stars
+}

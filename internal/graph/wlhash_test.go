@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWLHashEqualForIsomorphicRelabelings(t *testing.T) {
+	// The same graph built with vertices in a different order (an explicit
+	// isomorphism) must hash identically.
+	b1 := NewBuilder(4)
+	for _, l := range []Label{1, 2, 3, 4} {
+		b1.AddVertex(l)
+	}
+	b1.AddEdge(0, 1, 7)
+	b1.AddEdge(1, 2, 8)
+	b1.AddEdge(2, 3, 9)
+	g1 := b1.MustBuild(0)
+
+	// Permutation (0 1 2 3) -> (3 2 1 0).
+	b2 := NewBuilder(4)
+	for _, l := range []Label{4, 3, 2, 1} {
+		b2.AddVertex(l)
+	}
+	b2.AddEdge(3, 2, 7)
+	b2.AddEdge(2, 1, 8)
+	b2.AddEdge(1, 0, 9)
+	g2 := b2.MustBuild(1)
+
+	for _, rounds := range []int{0, 1, 3} {
+		if g1.WLHash(rounds) != g2.WLHash(rounds) {
+			t.Errorf("rounds=%d: isomorphic graphs hash differently", rounds)
+		}
+	}
+}
+
+func TestWLHashDistinguishesStructures(t *testing.T) {
+	path := func(id ID) *Graph {
+		b := NewBuilder(4)
+		for i := 0; i < 4; i++ {
+			b.AddVertex(1)
+		}
+		b.AddEdge(0, 1, 0)
+		b.AddEdge(1, 2, 0)
+		b.AddEdge(2, 3, 0)
+		return b.MustBuild(id)
+	}
+	star := func(id ID) *Graph {
+		b := NewBuilder(4)
+		for i := 0; i < 4; i++ {
+			b.AddVertex(1)
+		}
+		b.AddEdge(0, 1, 0)
+		b.AddEdge(0, 2, 0)
+		b.AddEdge(0, 3, 0)
+		return b.MustBuild(id)
+	}
+	// Same size and labels: only refinement separates them.
+	if path(0).WLHash(2) == star(1).WLHash(2) {
+		t.Error("path and star hash equal after refinement")
+	}
+	// Different labels separate immediately.
+	b := NewBuilder(1)
+	b.AddVertex(5)
+	c := NewBuilder(1)
+	c.AddVertex(6)
+	if b.MustBuild(0).WLHash(0) == c.MustBuild(1).WLHash(0) {
+		t.Error("different single labels hash equal")
+	}
+}
+
+// Property: hashing is invariant under random vertex permutations.
+func TestWLHashPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 0, 9)
+		perm := r.Perm(g.Order())
+		b := NewBuilder(g.Order())
+		for i := 0; i < g.Order(); i++ {
+			b.AddVertex(0)
+		}
+		// Set labels under the permutation.
+		b.labels = make([]Label, g.Order())
+		for v := 0; v < g.Order(); v++ {
+			b.labels[perm[v]] = g.VertexLabel(v)
+		}
+		for _, e := range g.Edges() {
+			b.AddEdge(perm[e.U], perm[e.V], e.Label)
+		}
+		h, err := b.Build(99)
+		if err != nil {
+			return false
+		}
+		return g.WLHash(3) == h.WLHash(3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWLHash(b *testing.B) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 0, 26)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WLHash(3)
+	}
+}
+
+func TestWLHashNegativeRounds(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 0, 5)
+	if g.WLHash(-1) != g.WLHash(0) {
+		t.Error("negative rounds not clamped")
+	}
+}

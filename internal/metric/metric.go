@@ -1,0 +1,220 @@
+// Package metric abstracts the database distance function d(g, g') and
+// provides the instrumented wrappers the experiments rely on: a counting
+// wrapper (how many expensive distance computations did an algorithm issue —
+// the paper's central efficiency measure), a thread-safe memoizing cache, and
+// a precomputed full distance matrix (the paper's "best case" baseline in
+// Fig. 5(i) and 6(k)).
+package metric
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphrep/internal/ged"
+	"graphrep/internal/graph"
+)
+
+// Metric computes the distance between two database graphs identified by ID.
+// Implementations must be symmetric, non-negative, and zero on identical
+// arguments; index structures additionally require the triangle inequality.
+type Metric interface {
+	Distance(a, b graph.ID) float64
+}
+
+// Func adapts an ordinary function to the Metric interface.
+type Func func(a, b graph.ID) float64
+
+// Distance implements Metric.
+func (f Func) Distance(a, b graph.ID) float64 { return f(a, b) }
+
+// Star returns the default database metric: the star-matching distance over
+// db, with per-graph star signatures computed lazily and cached. It is safe
+// for concurrent use and tolerates databases that grow via Append.
+func Star(db *graph.Database) Metric {
+	m := &starMetric{db: db, sigs: make([]*ged.StarSig, db.Len())}
+	for i, g := range db.Graphs() {
+		m.sigs[i] = ged.NewStarSig(g)
+	}
+	return m
+}
+
+type starMetric struct {
+	db   *graph.Database
+	mu   sync.RWMutex
+	sigs []*ged.StarSig
+}
+
+func (m *starMetric) sig(id graph.ID) *ged.StarSig {
+	m.mu.RLock()
+	if int(id) < len(m.sigs) {
+		s := m.sigs[id]
+		m.mu.RUnlock()
+		return s
+	}
+	m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.sigs) <= int(id) {
+		m.sigs = append(m.sigs, ged.NewStarSig(m.db.Graph(graph.ID(len(m.sigs)))))
+	}
+	return m.sigs[id]
+}
+
+// Distance implements Metric.
+func (m *starMetric) Distance(a, b graph.ID) float64 {
+	if a == b {
+		return 0
+	}
+	return m.sig(a).Distance(m.sig(b))
+}
+
+// BipartiteGED returns the Riesen–Bunke bipartite GED upper bound as a
+// metric-interface distance over db. Note: unlike Star, bipartite GED can
+// violate the triangle inequality slightly; it is provided for ablations.
+func BipartiteGED(db *graph.Database, c ged.Costs) Metric {
+	return Func(func(a, b graph.ID) float64 {
+		if a == b {
+			return 0
+		}
+		d, _ := ged.Bipartite(db.Graph(a), db.Graph(b), c)
+		return d
+	})
+}
+
+// Counter wraps a Metric and counts invocations. All algorithms in this
+// library are benchmarked by how many expensive distance computations they
+// issue; Counter is how that is measured.
+type Counter struct {
+	inner Metric
+	n     atomic.Int64
+}
+
+// NewCounter wraps m.
+func NewCounter(m Metric) *Counter { return &Counter{inner: m} }
+
+// Distance implements Metric.
+func (c *Counter) Distance(a, b graph.ID) float64 {
+	c.n.Add(1)
+	return c.inner.Distance(a, b)
+}
+
+// Count returns the number of Distance calls so far.
+func (c *Counter) Count() int64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// Cache wraps a Metric with a thread-safe memo table keyed on unordered
+// pairs. Graph IDs are small ints, so the key packs both into one uint64.
+type Cache struct {
+	inner Metric
+	mu    sync.RWMutex
+	memo  map[uint64]float64
+}
+
+// NewCache wraps m with an unbounded memo table.
+func NewCache(m Metric) *Cache {
+	return &Cache{inner: m, memo: make(map[uint64]float64)}
+}
+
+func pairKey(a, b graph.ID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// Distance implements Metric with memoization.
+func (c *Cache) Distance(a, b graph.ID) float64 {
+	if a == b {
+		return 0
+	}
+	k := pairKey(a, b)
+	c.mu.RLock()
+	d, ok := c.memo[k]
+	c.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = c.inner.Distance(a, b)
+	c.mu.Lock()
+	c.memo[k] = d
+	c.mu.Unlock()
+	return d
+}
+
+// Size returns the number of memoized pairs.
+func (c *Cache) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.memo)
+}
+
+// Clear drops every memoized pair. Benchmarks call this between measured
+// runs so one engine's distance computations cannot subsidize another's.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	c.memo = make(map[uint64]float64)
+	c.mu.Unlock()
+}
+
+// Matrix is a fully precomputed symmetric distance matrix: O(n²) storage and
+// O(n²) construction, O(1) queries. It is the paper's best-case (and
+// impractical-at-scale) comparison point.
+type Matrix struct {
+	n int
+	d []float64 // row-major upper triangle including diagonal
+}
+
+// NewMatrix precomputes all pairwise distances of db under m, using up to
+// workers goroutines (≤ 0 means 1).
+func NewMatrix(db *graph.Database, m Metric, workers int) *Matrix {
+	n := db.Len()
+	mat := &Matrix{n: n, d: make([]float64, n*(n-1)/2)}
+	if workers <= 0 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				for j := i + 1; j < n; j++ {
+					mat.d[triIndex(i, j, n)] = m.Distance(graph.ID(i), graph.ID(j))
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return mat
+}
+
+// triIndex maps a pair (i < j) to its offset in the packed strict upper
+// triangle: row i starts at i*(n-1) - i*(i-1)/2 and holds columns i+1..n-1.
+func triIndex(i, j, n int) int {
+	return i*(n-1) - i*(i-1)/2 + (j - i - 1)
+}
+
+// Distance implements Metric.
+func (m *Matrix) Distance(a, b graph.ID) float64 {
+	if a == b {
+		return 0
+	}
+	i, j := int(a), int(b)
+	if i > j {
+		i, j = j, i
+	}
+	return m.d[triIndex(i, j, m.n)]
+}
+
+// Len returns the matrix dimension.
+func (m *Matrix) Len() int { return m.n }
+
+// Bytes returns the approximate memory footprint of the matrix.
+func (m *Matrix) Bytes() int64 { return int64(len(m.d)) * 8 }

@@ -1,0 +1,229 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"graphrep/internal/ged"
+	"graphrep/internal/graph"
+)
+
+func testDB(t testing.TB, n int, seed int64) *graph.Database {
+	if t != nil {
+		t.Helper()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	graphs := make([]*graph.Graph, n)
+	for i := range graphs {
+		order := 2 + rng.Intn(6)
+		b := graph.NewBuilder(order)
+		for v := 0; v < order; v++ {
+			b.AddVertex(graph.Label(rng.Intn(4)))
+		}
+		for u := 0; u < order; u++ {
+			for v := u + 1; v < order; v++ {
+				if rng.Float64() < 0.4 {
+					b.AddEdge(u, v, graph.Label(rng.Intn(2)))
+				}
+			}
+		}
+		b.SetFeatures([]float64{rng.Float64()})
+		g, err := b.Build(graph.ID(i))
+		if err != nil {
+			panic(err)
+		}
+		graphs[i] = g
+	}
+	db, err := graph.NewDatabase(graphs)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func TestStarMetricBasics(t *testing.T) {
+	db := testDB(t, 10, 1)
+	m := Star(db)
+	for i := 0; i < db.Len(); i++ {
+		if d := m.Distance(graph.ID(i), graph.ID(i)); d != 0 {
+			t.Errorf("d(%d,%d) = %v, want 0", i, i, d)
+		}
+		for j := i + 1; j < db.Len(); j++ {
+			a, b := graph.ID(i), graph.ID(j)
+			if m.Distance(a, b) != m.Distance(b, a) {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			if m.Distance(a, b) < 0 {
+				t.Errorf("negative at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Star metric must agree with direct StarDistance.
+	want := ged.StarDistance(db.Graph(0), db.Graph(1))
+	if got := m.Distance(0, 1); got != want {
+		t.Errorf("Star = %v, StarDistance = %v", got, want)
+	}
+}
+
+func TestBipartiteGEDMetric(t *testing.T) {
+	db := testDB(t, 6, 2)
+	m := BipartiteGED(db, ged.UniformCosts())
+	if d := m.Distance(3, 3); d != 0 {
+		t.Errorf("d(3,3) = %v", d)
+	}
+	want, _ := ged.Bipartite(db.Graph(0), db.Graph(1), ged.UniformCosts())
+	if got := m.Distance(0, 1); got != want {
+		t.Errorf("BipartiteGED = %v, want %v", got, want)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	db := testDB(t, 5, 3)
+	c := NewCounter(Star(db))
+	c.Distance(0, 1)
+	c.Distance(1, 2)
+	if c.Count() != 2 {
+		t.Errorf("Count = %d, want 2", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Errorf("Count after Reset = %d", c.Count())
+	}
+}
+
+func TestCacheCorrectAndCounted(t *testing.T) {
+	db := testDB(t, 8, 4)
+	counter := NewCounter(Star(db))
+	cache := NewCache(counter)
+	d1 := cache.Distance(2, 5)
+	d2 := cache.Distance(5, 2) // unordered pair: must hit cache
+	if d1 != d2 {
+		t.Errorf("cache asymmetric: %v vs %v", d1, d2)
+	}
+	if counter.Count() != 1 {
+		t.Errorf("inner calls = %d, want 1", counter.Count())
+	}
+	if cache.Size() != 1 {
+		t.Errorf("cache size = %d, want 1", cache.Size())
+	}
+	if cache.Distance(3, 3) != 0 {
+		t.Error("d(3,3) != 0")
+	}
+	if counter.Count() != 1 {
+		t.Error("identical-pair query reached inner metric")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	db := testDB(t, 20, 5)
+	cache := NewCache(Star(db))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				a := graph.ID(rng.Intn(db.Len()))
+				b := graph.ID(rng.Intn(db.Len()))
+				got := cache.Distance(a, b)
+				if got < 0 {
+					t.Errorf("negative distance")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+func TestCacheClear(t *testing.T) {
+	db := testDB(t, 6, 7)
+	counter := NewCounter(Star(db))
+	cache := NewCache(counter)
+	cache.Distance(0, 1)
+	cache.Distance(0, 1)
+	if counter.Count() != 1 {
+		t.Fatalf("pre-clear count = %d", counter.Count())
+	}
+	cache.Clear()
+	if cache.Size() != 0 {
+		t.Errorf("Size after Clear = %d", cache.Size())
+	}
+	cache.Distance(0, 1)
+	if counter.Count() != 2 {
+		t.Errorf("post-clear count = %d, want 2", counter.Count())
+	}
+}
+
+func TestMatrixMatchesMetric(t *testing.T) {
+	db := testDB(t, 15, 6)
+	base := Star(db)
+	for _, workers := range []int{0, 1, 4} {
+		mat := NewMatrix(db, base, workers)
+		if mat.Len() != db.Len() {
+			t.Fatalf("Len = %d", mat.Len())
+		}
+		for i := 0; i < db.Len(); i++ {
+			for j := 0; j < db.Len(); j++ {
+				a, b := graph.ID(i), graph.ID(j)
+				if got, want := mat.Distance(a, b), base.Distance(a, b); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("workers=%d: matrix(%d,%d) = %v, want %v", workers, i, j, got, want)
+				}
+			}
+		}
+		if mat.Bytes() != int64(db.Len()*(db.Len()-1)/2*8) {
+			t.Errorf("Bytes = %d", mat.Bytes())
+		}
+	}
+}
+
+// The star metric must tolerate databases that grow after creation.
+func TestStarMetricLazyGrowth(t *testing.T) {
+	db := testDB(t, 5, 20)
+	m := Star(db)
+	d0 := m.Distance(0, 4)
+	// Grow the database and query the new id.
+	b := graph.NewBuilder(3)
+	for i := 0; i < 3; i++ {
+		b.AddVertex(graph.Label(i))
+	}
+	b.AddEdge(0, 1, 0)
+	b.SetFeatures([]float64{0.5})
+	g, err := b.Build(graph.ID(db.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(g); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if d := m.Distance(0, g.ID()); d <= 0 {
+		t.Errorf("distance to appended graph = %v", d)
+	}
+	if m.Distance(0, 4) != d0 {
+		t.Error("existing distances changed after growth")
+	}
+	// Append validation.
+	if err := db.Append(nil); err == nil {
+		t.Error("nil append accepted")
+	}
+	if err := db.Append(g); err == nil {
+		t.Error("wrong-id append accepted")
+	}
+	bad := graph.NewBuilder(1)
+	bad.AddVertex(0)
+	bad.SetFeatures([]float64{1, 2, 3})
+	bg, _ := bad.Build(graph.ID(db.Len()))
+	if err := db.Append(bg); err == nil {
+		t.Error("feature-dim mismatch accepted")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	m := Func(func(a, b graph.ID) float64 { return float64(a + b) })
+	if m.Distance(2, 3) != 5 {
+		t.Error("Func adapter broken")
+	}
+}

@@ -1,0 +1,34 @@
+package metric
+
+import "graphrep/internal/graph"
+
+// RangeSearcher answers metric range queries: all database graphs within
+// radius of a center graph. It is the capability every nearest-neighbor-
+// style graph index (M-tree, C-tree) exposes and that the baseline greedy
+// algorithms consume to materialize θ-neighborhoods.
+type RangeSearcher interface {
+	// Range returns the IDs of all graphs g with d(center, g) ≤ radius,
+	// including center itself. Order is unspecified.
+	Range(center graph.ID, radius float64) []graph.ID
+}
+
+// LinearScan is the trivial RangeSearcher: one distance computation per
+// database graph per query. It is the no-index comparison point.
+type LinearScan struct {
+	N int
+	M Metric
+}
+
+// NewLinearScan returns a LinearScan over a database of n graphs.
+func NewLinearScan(n int, m Metric) *LinearScan { return &LinearScan{N: n, M: m} }
+
+// Range implements RangeSearcher.
+func (l *LinearScan) Range(center graph.ID, radius float64) []graph.ID {
+	var out []graph.ID
+	for i := 0; i < l.N; i++ {
+		if l.M.Distance(center, graph.ID(i)) <= radius {
+			out = append(out, graph.ID(i))
+		}
+	}
+	return out
+}

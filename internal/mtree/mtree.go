@@ -1,0 +1,198 @@
+// Package mtree implements a metric ball tree with covering-radius range
+// queries — the M-tree adaptation that DisC [9] uses as its index substrate
+// and one of the nearest-neighbor-style baselines the paper compares NB-Index
+// against (Figs. 2(b), 5(i–k), 6).
+//
+// The tree is bulk-loaded top-down: every node has a pivot and a covering
+// radius; internal nodes partition their graphs among up to b pivots chosen
+// farthest-first; leaves store member IDs together with their distance to
+// the leaf pivot so individual members can be pruned by the triangle
+// inequality without an exact distance computation.
+package mtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+// Options configures construction.
+type Options struct {
+	// Branching is the fan-out of internal nodes (≥ 2).
+	Branching int
+	// LeafSize is the maximum number of graphs per leaf (≥ 1).
+	LeafSize int
+}
+
+// DefaultOptions mirror a memory-resident M-tree configuration.
+func DefaultOptions() Options { return Options{Branching: 4, LeafSize: 16} }
+
+// Tree is an immutable metric ball tree over a database. It implements
+// metric.RangeSearcher.
+type Tree struct {
+	m    metric.Metric
+	root *node
+	// stats
+	buildDistances int64
+}
+
+type node struct {
+	pivot    graph.ID
+	radius   float64
+	children []*node
+	// leaf content; entries[i] pairs a graph with its distance to pivot.
+	entries []entry
+}
+
+type entry struct {
+	id graph.ID
+	d  float64
+}
+
+// Build bulk-loads a tree over db under metric m.
+func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Tree, error) {
+	if opt.Branching < 2 {
+		return nil, fmt.Errorf("mtree: branching %d < 2", opt.Branching)
+	}
+	if opt.LeafSize < 1 {
+		return nil, fmt.Errorf("mtree: leaf size %d < 1", opt.LeafSize)
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("mtree: empty database")
+	}
+	t := &Tree{m: m}
+	ids := make([]graph.ID, db.Len())
+	for i := range ids {
+		ids[i] = graph.ID(i)
+	}
+	t.root = t.build(ids, opt, rng)
+	return t, nil
+}
+
+func (t *Tree) dist(a, b graph.ID) float64 {
+	t.buildDistances++
+	return t.m.Distance(a, b)
+}
+
+func (t *Tree) build(ids []graph.ID, opt Options, rng *rand.Rand) *node {
+	pivot := ids[rng.Intn(len(ids))]
+	n := &node{pivot: pivot}
+	if len(ids) <= opt.LeafSize {
+		for _, id := range ids {
+			d := t.dist(pivot, id)
+			n.entries = append(n.entries, entry{id, d})
+			if d > n.radius {
+				n.radius = d
+			}
+		}
+		return n
+	}
+	// Farthest-first pivots, then assign to the closest pivot.
+	k := opt.Branching
+	if k > len(ids) {
+		k = len(ids)
+	}
+	pivots := []graph.ID{pivot}
+	minDist := make([]float64, len(ids))
+	assign := make([]int, len(ids))
+	for i, id := range ids {
+		minDist[i] = t.dist(pivot, id)
+		if minDist[i] > n.radius {
+			n.radius = minDist[i]
+		}
+	}
+	for len(pivots) < k {
+		best, bestD := -1, -1.0
+		for i := range ids {
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if bestD == 0 {
+			break
+		}
+		p := ids[best]
+		pi := len(pivots)
+		pivots = append(pivots, p)
+		for i, id := range ids {
+			if d := t.dist(p, id); d < minDist[i] {
+				minDist[i] = d
+				assign[i] = pi
+			}
+		}
+	}
+	if len(pivots) == 1 {
+		// All members coincide with the pivot: emit a flat leaf.
+		for _, id := range ids {
+			n.entries = append(n.entries, entry{id, 0})
+		}
+		return n
+	}
+	for p := range pivots {
+		var sub []graph.ID
+		for i, id := range ids {
+			if assign[i] == p {
+				sub = append(sub, id)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		n.children = append(n.children, t.build(sub, opt, rng))
+	}
+	return n
+}
+
+// Range implements metric.RangeSearcher: every graph within radius of
+// center, center included.
+func (t *Tree) Range(center graph.ID, radius float64) []graph.ID {
+	var out []graph.ID
+	t.search(t.root, center, radius, &out)
+	return out
+}
+
+func (t *Tree) search(n *node, center graph.ID, radius float64, out *[]graph.ID) {
+	dp := t.m.Distance(center, n.pivot)
+	if dp > n.radius+radius {
+		return // the whole ball is out of range (triangle inequality)
+	}
+	if n.entries != nil {
+		for _, e := range n.entries {
+			// Prune by |d(center,pivot) − d(pivot,e)| > radius.
+			if math.Abs(dp-e.d) > radius {
+				continue
+			}
+			// Include by d(center,pivot) + d(pivot,e) ≤ radius.
+			if dp+e.d <= radius {
+				*out = append(*out, e.id)
+				continue
+			}
+			if t.m.Distance(center, e.id) <= radius {
+				*out = append(*out, e.id)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.search(c, center, radius, out)
+	}
+}
+
+// BuildDistances reports how many distance computations construction issued.
+func (t *Tree) BuildDistances() int64 { return t.buildDistances }
+
+// Height returns the tree height.
+func (t *Tree) Height() int { return heightOf(t.root) }
+
+func heightOf(n *node) int {
+	h := 0
+	for _, c := range n.children {
+		if ch := heightOf(c) + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}

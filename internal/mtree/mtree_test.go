@@ -1,0 +1,145 @@
+package mtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+func randDB(n int, seed int64) (*graph.Database, metric.Metric) {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := make([]*graph.Graph, n)
+	for i := range graphs {
+		order := 2 + rng.Intn(7)
+		b := graph.NewBuilder(order)
+		for v := 0; v < order; v++ {
+			b.AddVertex(graph.Label(rng.Intn(3)))
+		}
+		for u := 0; u < order; u++ {
+			for v := u + 1; v < order; v++ {
+				if rng.Float64() < 0.35 {
+					b.AddEdge(u, v, 0)
+				}
+			}
+		}
+		g, err := b.Build(graph.ID(i))
+		if err != nil {
+			panic(err)
+		}
+		graphs[i] = g
+	}
+	db, err := graph.NewDatabase(graphs)
+	if err != nil {
+		panic(err)
+	}
+	return db, metric.NewCache(metric.Star(db))
+}
+
+func sortIDs(ids []graph.ID) []graph.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestBuildErrors(t *testing.T) {
+	db, m := randDB(5, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(db, m, Options{Branching: 1, LeafSize: 4}, rng); err == nil {
+		t.Error("branching=1 accepted")
+	}
+	if _, err := Build(db, m, Options{Branching: 2, LeafSize: 0}, rng); err == nil {
+		t.Error("leafSize=0 accepted")
+	}
+	empty, _ := graph.NewDatabase(nil)
+	if _, err := Build(empty, m, DefaultOptions(), rng); err == nil {
+		t.Error("empty db accepted")
+	}
+}
+
+// Range results must exactly match a linear scan for every query and radius.
+func TestRangeMatchesLinearScan(t *testing.T) {
+	db, m := randDB(80, 2)
+	tree, err := Build(db, m, Options{Branching: 3, LeafSize: 5}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	lin := metric.NewLinearScan(db.Len(), m)
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		center := graph.ID(r.Intn(db.Len()))
+		radius := r.Float64() * 12
+		got := sortIDs(tree.Range(center, radius))
+		want := sortIDs(lin.Range(center, radius))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeIncludesSelf(t *testing.T) {
+	db, m := randDB(30, 5)
+	tree, err := Build(db, m, DefaultOptions(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < db.Len(); i++ {
+		found := false
+		for _, id := range tree.Range(graph.ID(i), 0) {
+			if id == graph.ID(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("graph %d not in its own radius-0 range", i)
+		}
+	}
+}
+
+func TestStatsAndHeight(t *testing.T) {
+	db, m := randDB(100, 7)
+	tree, err := Build(db, m, Options{Branching: 4, LeafSize: 4}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.BuildDistances() <= 0 {
+		t.Error("no build distances recorded")
+	}
+	if tree.Height() < 1 {
+		t.Errorf("height = %d", tree.Height())
+	}
+}
+
+func TestDuplicateGraphs(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddVertex(1)
+	b.AddVertex(1)
+	b.AddEdge(0, 1, 0)
+	proto, _ := b.Build(0)
+	graphs := []*graph.Graph{proto}
+	for i := 1; i < 12; i++ {
+		g, _ := proto.Clone(graph.ID(i)).Build(graph.ID(i))
+		graphs = append(graphs, g)
+	}
+	db, _ := graph.NewDatabase(graphs)
+	m := metric.Star(db)
+	tree, err := Build(db, m, Options{Branching: 3, LeafSize: 2}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := tree.Range(0, 0); len(got) != 12 {
+		t.Errorf("duplicates: range found %d of 12", len(got))
+	}
+}

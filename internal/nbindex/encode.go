@@ -1,0 +1,86 @@
+package nbindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+	"graphrep/internal/nbtree"
+	"graphrep/internal/vantage"
+)
+
+// Serialization layout: a small header, the θ grid, then the vantage
+// ordering and NB-Tree snapshots (each length-prefixed gob). The database
+// and metric are not serialized — the caller re-supplies them on load, as
+// they would reopen the underlying store.
+
+var indexMagic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '1'}
+
+// Encode persists the index. The paper treats index construction as an
+// offline step (Fig. 6(k)); persistence makes it a one-time one.
+func (ix *Index) Encode(w io.Writer) error {
+	if _, err := w.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(ix.grid))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, ix.grid); err != nil {
+		return err
+	}
+	if err := ix.vo.Encode(w); err != nil {
+		return err
+	}
+	return ix.tree.Encode(w)
+}
+
+// Read loads an index written by Encode, reattaching it to the database
+// and metric it was built over. The caller must supply the same database
+// (same graphs, same IDs) and an equivalent metric; Read validates what it
+// can cheaply (sizes and ID ranges).
+func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Index, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("nbindex: read header: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("nbindex: bad magic %q", magic[:])
+	}
+	var gridLen int64
+	if err := binary.Read(r, binary.LittleEndian, &gridLen); err != nil {
+		return nil, fmt.Errorf("nbindex: read grid length: %w", err)
+	}
+	if gridLen <= 0 || gridLen > 1<<20 {
+		return nil, fmt.Errorf("nbindex: implausible grid length %d", gridLen)
+	}
+	grid := make([]float64, gridLen)
+	if err := binary.Read(r, binary.LittleEndian, grid); err != nil {
+		return nil, fmt.Errorf("nbindex: read grid: %w", err)
+	}
+	vo, err := vantage.ReadOrdering(r)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := nbtree.ReadTree(r)
+	if err != nil {
+		return nil, err
+	}
+	if vo.Len() != db.Len() {
+		return nil, fmt.Errorf("nbindex: index covers %d graphs, database has %d", vo.Len(), db.Len())
+	}
+	if tree.Root().Size != db.Len() {
+		return nil, fmt.Errorf("nbindex: tree covers %d graphs, database has %d", tree.Root().Size, db.Len())
+	}
+	ix := &Index{db: db, m: m, vo: vo, tree: tree, grid: grid, leafOf: make([]int, db.Len())}
+	for _, n := range tree.Nodes() {
+		if n.Leaf {
+			if int(n.Centroid) < 0 || int(n.Centroid) >= db.Len() {
+				return nil, fmt.Errorf("nbindex: leaf references graph %d outside database", n.Centroid)
+			}
+			ix.leafOf[n.Centroid] = n.Idx
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,587 @@
+// Package nbindex implements the NB-Index of §6–7: the paper's index over
+// θ-neighborhoods that makes top-k representative queries scale. It unifies
+//
+//   - vantage orderings (internal/vantage): a Lipschitz embedding giving the
+//     candidate neighborhoods N̂_θ(g) ⊇ N_θ(g) of Theorem 5, and
+//   - the NB-Tree (internal/nbtree): a hierarchical clustering whose nodes
+//     carry π̂-vectors — upper bounds on representative power at a grid of
+//     indexed thresholds (Definition 6) — enabling the best-first search of
+//     Alg. 2 and cluster-batched updates in the spirit of Theorems 6–8.
+//
+// # Query processing
+//
+// A Session corresponds to the paper's initialization phase: for a fixed
+// relevance function it computes the π̂-vector of every relevant graph with
+// one vantage scan each, and propagates ceilings up the NB-Tree (Eq. 14).
+// Session.TopK runs the search-and-update phase at any θ; calling it again
+// with a refined θ reuses the initialization, which is exactly the
+// interactive zoom scenario of Fig. 6(i).
+//
+// # Update rule
+//
+// Instead of re-deriving Theorems 6–8 literally, the update step uses an
+// equivalent credit-propagation formulation that is easier to prove sound:
+// when graph l becomes covered, one credit is added at the highest NB-Tree
+// ancestor a of l with diameter(a) ≤ θ. For every graph g' under a, l is
+// guaranteed inside N_θ(g') (d(g', l) ≤ diameter(a) ≤ θ, Theorem 7's
+// argument), so the marginal-gain bound of every such g' may permanently
+// drop by one. Summed over the members of a covered cluster this reproduces
+// the |c_q| batch subtraction of Theorems 7–8, and clusters beyond reach are
+// never credited, which is Theorem 6. Each covered graph is credited exactly
+// once, so bounds never under-count and Alg. 2's pruning stays admissible.
+package nbindex
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"graphrep/internal/bitset"
+	"graphrep/internal/core"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+	"graphrep/internal/nbtree"
+	"graphrep/internal/vantage"
+)
+
+// Options configures index construction.
+type Options struct {
+	// NumVPs is the number of vantage points (|V|). Choose via
+	// stats.MinVPsForFPR or default to a small constant.
+	NumVPs int
+	// VPPolicy selects the vantage point policy (default SelectRandom).
+	VPPolicy vantage.SelectionPolicy
+	// Branching is the NB-Tree fan-out b (≥ 2).
+	Branching int
+	// ThetaGrid lists the thresholds indexed in π̂-vectors, ascending (§7.1).
+	ThetaGrid []float64
+}
+
+// DefaultOptions returns a memory-resident configuration.
+func DefaultOptions(grid []float64) Options {
+	return Options{NumVPs: 8, Branching: 4, ThetaGrid: grid}
+}
+
+// Index is an immutable NB-Index over a database. Build once per database;
+// relevance functions and θ are supplied at query time.
+type Index struct {
+	db   *graph.Database
+	m    metric.Metric
+	vo   *vantage.Ordering
+	tree *nbtree.Tree
+	grid []float64
+	// leafOf maps a graph ID to its leaf node index in tree.Nodes().
+	leafOf []int
+}
+
+// Build constructs the NB-Index: vantage point selection, vantage orderings,
+// and the VP-accelerated NB-Tree.
+func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Index, error) {
+	if len(opt.ThetaGrid) == 0 {
+		return nil, fmt.Errorf("nbindex: empty theta grid")
+	}
+	if !sort.Float64sAreSorted(opt.ThetaGrid) {
+		return nil, fmt.Errorf("nbindex: theta grid not ascending")
+	}
+	if opt.NumVPs <= 0 {
+		return nil, fmt.Errorf("nbindex: NumVPs = %d", opt.NumVPs)
+	}
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("nbindex: empty database")
+	}
+	numVPs := opt.NumVPs
+	if numVPs > db.Len() {
+		numVPs = db.Len()
+	}
+	vps, err := vantage.SelectVPs(db, m, numVPs, opt.VPPolicy, rng)
+	if err != nil {
+		return nil, err
+	}
+	vo, err := vantage.Build(db, m, vps)
+	if err != nil {
+		return nil, err
+	}
+	branching := opt.Branching
+	if branching < 2 {
+		branching = 4
+	}
+	tree, err := nbtree.Build(db, m, nbtree.Options{Branching: branching, VO: vo}, rng)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		db:   db,
+		m:    m,
+		vo:   vo,
+		tree: tree,
+		grid: append([]float64(nil), opt.ThetaGrid...),
+		leafOf: func() []int {
+			l := make([]int, db.Len())
+			for _, n := range tree.Nodes() {
+				if n.Leaf {
+					l[n.Centroid] = n.Idx
+				}
+			}
+			return l
+		}(),
+	}
+	return ix, nil
+}
+
+// Insert extends the index with a graph already appended to the database
+// (its ID must be the database's last). Costs |V| vantage distances plus a
+// tree descent. Sessions created before an Insert do not see the new graph;
+// create a fresh Session afterwards. Not safe concurrently with queries.
+func (ix *Index) Insert(id graph.ID) error {
+	if int(id) != ix.db.Len()-1 {
+		return fmt.Errorf("nbindex: inserting id %d, want the database's last id %d", id, ix.db.Len()-1)
+	}
+	if int(id) != ix.vo.Len() {
+		return fmt.Errorf("nbindex: index already covers id %d", id)
+	}
+	if err := ix.vo.Insert(id, ix.m); err != nil {
+		return err
+	}
+	ix.tree.Insert(id, ix.m)
+	// Rebuild the leaf map: inserting into a singleton tree restructures
+	// node indexes, so a full O(nodes) rebuild is the safe (and still
+	// cheap) choice.
+	ix.leafOf = append(ix.leafOf, 0)
+	for _, n := range ix.tree.Nodes() {
+		if n.Leaf {
+			ix.leafOf[n.Centroid] = n.Idx
+		}
+	}
+	return nil
+}
+
+// Tree exposes the underlying NB-Tree (read-only).
+func (ix *Index) Tree() *nbtree.Tree { return ix.tree }
+
+// VO exposes the vantage orderings (read-only).
+func (ix *Index) VO() *vantage.Ordering { return ix.vo }
+
+// Grid returns the indexed thresholds.
+func (ix *Index) Grid() []float64 { return ix.grid }
+
+// Bytes approximates the index memory footprint: vantage orderings plus the
+// NB-Tree (Fig. 6(l)).
+func (ix *Index) Bytes() int64 { return ix.vo.Bytes() + ix.tree.Bytes() }
+
+// GridSlot returns the position of the smallest indexed threshold ≥ theta,
+// or len(grid) when theta exceeds every indexed threshold.
+func (ix *Index) GridSlot(theta float64) int {
+	return sort.SearchFloat64s(ix.grid, theta)
+}
+
+// Session is the initialization phase for one relevance function: π̂-vectors
+// for every relevant graph plus the supporting relevance state. A Session
+// answers any number of TopK calls at varying θ (interactive refinement)
+// without repeating the initialization.
+type Session struct {
+	ix *Index
+	// grid lists the thresholds the session's π̂-vectors are computed at:
+	// the index grid by default, or a single direct threshold for sessions
+	// opened with NewSessionAt (§7's "absence of interactive refinement"
+	// optimization).
+	grid []float64
+	rel  []graph.ID
+	// relPos maps a database ID to its position in rel, or −1.
+	relPos []int
+	// relCount[nodeIdx] counts relevant graphs under each NB-Tree node.
+	relCount []int
+	// piHat[leafNodeIdx][slot] upper-bounds |N_θgrid[slot](g) ∩ L_q| for the
+	// leaf's graph; nil rows for irrelevant leaves.
+	piHat [][]int32
+	// batchUpdates enables the Theorems 6–8 style credit propagation; on by
+	// default, disabled only for ablation measurements.
+	batchUpdates bool
+	// stats
+	lastStats QueryStats
+}
+
+// SetBatchUpdates toggles the cluster-batched bound updates (Theorems 6–8
+// equivalent). Disabling them keeps answers identical — bounds merely stay
+// looser, so the search verifies more leaves. Exists for the ablation bench.
+func (s *Session) SetBatchUpdates(on bool) { s.batchUpdates = on }
+
+// QueryStats describes the work one TopK call performed.
+type QueryStats struct {
+	PQPops         int
+	VerifiedLeaves int
+	CandidateScans int
+	ExactDistances int // distances issued through the session's counter
+}
+
+// NewSession runs the initialization phase for relevance function q,
+// computing π̂-vectors over the full indexed θ grid so that any subsequent
+// TopK threshold (interactive refinement) is supported.
+func (ix *Index) NewSession(q core.Relevance) *Session {
+	return ix.newSession(q, ix.grid)
+}
+
+// NewSessionAt runs the initialization phase for a single known threshold:
+// the π̂ bounds are computed directly at theta instead of the whole grid
+// (§7: "in the absence of interactive refinement, the π̂-vector is not
+// required"). TopK at other thresholds remains correct but falls back to
+// trivial bounds, so use NewSession when θ will be refined.
+func (ix *Index) NewSessionAt(q core.Relevance, theta float64) *Session {
+	return ix.newSession(q, []float64{theta})
+}
+
+func (ix *Index) newSession(q core.Relevance, grid []float64) *Session {
+	s := &Session{ix: ix, grid: grid, batchUpdates: true}
+	s.rel = core.Relevant(ix.db, q)
+	s.relPos = make([]int, ix.db.Len())
+	for i := range s.relPos {
+		s.relPos[i] = -1
+	}
+	for i, id := range s.rel {
+		s.relPos[id] = i
+	}
+	nodes := ix.tree.Nodes()
+	s.relCount = make([]int, len(nodes))
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if n.Leaf {
+			if s.relPos[n.Centroid] >= 0 {
+				s.relCount[i] = 1
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			s.relCount[i] += s.relCount[c.Idx]
+		}
+	}
+	// π̂-vectors: one vantage scan per relevant graph at the largest indexed
+	// threshold; each candidate's vantage lower bound assigns it to every
+	// grid slot it belongs to. Rows are independent, so the scans run on a
+	// small worker pool.
+	s.piHat = make([][]int32, len(nodes))
+	if len(grid) > 0 && len(s.rel) > 0 {
+		thetaMax := grid[len(grid)-1]
+		isRel := func(id graph.ID) bool { return s.relPos[id] >= 0 }
+		workers := runtime.NumCPU()
+		if workers > 8 {
+			workers = 8
+		}
+		if workers > len(s.rel) {
+			workers = len(s.rel)
+		}
+		var wg sync.WaitGroup
+		work := make(chan graph.ID)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for id := range work {
+					row := make([]int32, len(grid))
+					for _, c := range ix.vo.CandidatesWithLB(id, thetaMax, isRel) {
+						slot := sort.SearchFloat64s(grid, c.LB)
+						for t := slot; t < len(grid); t++ {
+							row[t]++
+						}
+					}
+					s.piHat[ix.leafOf[id]] = row
+				}
+			}()
+		}
+		for _, id := range s.rel {
+			work <- id
+		}
+		close(work)
+		wg.Wait()
+	}
+	return s
+}
+
+// RelevantCount returns |L_q| for the session.
+func (s *Session) RelevantCount() int { return len(s.rel) }
+
+// LastStats returns statistics from the most recent TopK call.
+func (s *Session) LastStats() QueryStats { return s.lastStats }
+
+// PiHatBytes reports the memory consumed by the π̂-vectors (the query-time
+// component of the footprint reported in Fig. 6(l)).
+func (s *Session) PiHatBytes() int64 {
+	var b int64
+	for _, row := range s.piHat {
+		b += int64(len(row)) * 4
+	}
+	return b
+}
+
+// TopK runs the search-and-update phase (Alg. 2 driven greedy) at threshold
+// theta with budget k. The answer matches the baseline greedy exactly
+// (maximum marginal gain, ties toward the lower graph ID; picks stop when no
+// candidate improves coverage).
+func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
+	if theta < 0 {
+		return nil, fmt.Errorf("nbindex: negative theta %v", theta)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("nbindex: non-positive k %d", k)
+	}
+	ix := s.ix
+	nodes := ix.tree.Nodes()
+	res := &core.Result{Relevant: len(s.rel)}
+	s.lastStats = QueryStats{}
+	if len(s.rel) == 0 {
+		return res, nil
+	}
+
+	// Working bound state for this θ: the smallest session-grid threshold
+	// ≥ θ, whose π̂ column upper-bounds the θ neighborhoods.
+	slot := sort.SearchFloat64s(s.grid, theta)
+	leafBound := func(idx int) int32 {
+		row := s.piHat[idx]
+		if row == nil {
+			return -1 // irrelevant leaf: never selectable
+		}
+		if slot >= len(row) {
+			return int32(len(s.rel)) // θ beyond the grid: trivial bound
+		}
+		return row[slot]
+	}
+	// sub[nodeIdx]: permanent per-subtree gain subtraction (credits).
+	sub := make([]int32, len(nodes))
+	// F[nodeIdx] = max over relevant leaves l under the node of
+	// (π̂init(l) − Σ sub on the path l..node); −1 where no relevant leaf.
+	F := make([]int32, len(nodes))
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if n.Leaf {
+			F[i] = leafBound(i)
+			continue
+		}
+		best := int32(-1)
+		for _, c := range n.Children {
+			if F[c.Idx] > best {
+				best = F[c.Idx]
+			}
+		}
+		F[i] = best
+	}
+	// subAbove sums the credits strictly above a node.
+	subAbove := func(n *nbtree.Node) int32 {
+		var t int32
+		for p := n.Parent; p != nil; p = p.Parent {
+			t += sub[p.Idx]
+		}
+		return t
+	}
+	currentBound := func(n *nbtree.Node) int32 { return F[n.Idx] - subAbove(n) }
+
+	covered := bitset.New(len(s.rel))
+	inAnswer := make([]bool, len(s.rel))
+	includeUncovered := func(id graph.ID) bool {
+		p := s.relPos[id]
+		return p >= 0 && !covered.Contains(p)
+	}
+
+	// applyCredit records that relevant graph id became covered: one credit
+	// at its highest diameter ≤ θ ancestor, with F recomputed upward.
+	applyCredit := func(id graph.ID) {
+		leaf := nodes[ix.leafOf[id]]
+		a := leaf
+		for p := a.Parent; p != nil && p.Diameter <= theta; p = p.Parent {
+			a = p
+		}
+		sub[a.Idx]++
+		// Recompute F from a to the root.
+		for n := a; n != nil; n = n.Parent {
+			var best int32
+			if n.Leaf {
+				best = leafBound(n.Idx)
+			} else {
+				best = -1
+				for _, c := range n.Children {
+					if F[c.Idx] > best {
+						best = F[c.Idx]
+					}
+				}
+			}
+			nf := best - sub[n.Idx]
+			if nf == F[n.Idx] && n != a {
+				break // no change propagates further
+			}
+			F[n.Idx] = nf
+		}
+	}
+
+	for len(res.Answer) < k {
+		best, bestGain := graph.ID(-1), int32(0)
+		var bestNbrs []int // relevant positions newly covered by best
+		pq := &entryHeap{}
+		root := ix.tree.Root()
+		if b := currentBound(root); b > 0 {
+			heap.Push(pq, entry{bound: b, node: root})
+		}
+		for pq.Len() > 0 {
+			e := heap.Pop(pq).(*entry)
+			s.lastStats.PQPops++
+			// The heap is ordered by bound, so once the best remaining bound
+			// drops below the verified best gain the pick is settled. Bounds
+			// equal to the best gain are still explored so that ties resolve
+			// toward the lowest graph ID, matching the baseline greedy.
+			if e.bound < bestGain {
+				break
+			}
+			// Lazy re-evaluation: credits may have shrunk the bound since
+			// insertion.
+			if cur := currentBound(e.node); cur < e.bound {
+				if cur >= bestGain && cur > 0 {
+					heap.Push(pq, entry{bound: cur, node: e.node})
+				}
+				continue
+			}
+			if e.node.Leaf {
+				p := s.relPos[e.node.Centroid]
+				if p < 0 || inAnswer[p] {
+					continue
+				}
+				gain, nbrs := s.verify(e.node.Centroid, theta, includeUncovered)
+				if gain > bestGain || (gain == bestGain && gain > 0 && e.node.Centroid < best) {
+					best, bestGain, bestNbrs = e.node.Centroid, gain, nbrs
+				}
+				continue
+			}
+			for _, c := range e.node.Children {
+				if b := currentBound(c); b > 0 && b >= bestGain {
+					heap.Push(pq, entry{bound: b, node: c})
+				}
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break
+		}
+		// Pick best; update coverage and credits.
+		inAnswer[s.relPos[best]] = true
+		res.Answer = append(res.Answer, best)
+		res.Gains = append(res.Gains, int(bestGain))
+		for _, p := range bestNbrs {
+			covered.Add(p)
+			if s.batchUpdates {
+				applyCredit(s.rel[p])
+			}
+		}
+	}
+	res.Covered = covered.Count()
+	res.Power = float64(res.Covered) / float64(res.Relevant)
+	return res, nil
+}
+
+// verify computes the exact marginal gain of graph g at threshold theta:
+// vantage candidates restricted to uncovered relevant graphs, then exact
+// distances only for those (Alg. 2 lines 8–11). It returns the gain and the
+// relevant positions that would become covered.
+func (s *Session) verify(g graph.ID, theta float64, include func(graph.ID) bool) (int32, []int) {
+	s.lastStats.VerifiedLeaves++
+	var nbrs []int
+	for _, id := range s.ix.vo.Candidates(g, theta, include) {
+		s.lastStats.CandidateScans++
+		if id != g {
+			s.lastStats.ExactDistances++
+			if s.ix.m.Distance(g, id) > theta {
+				continue
+			}
+		}
+		nbrs = append(nbrs, s.relPos[id])
+	}
+	return int32(len(nbrs)), nbrs
+}
+
+// entry is a PQ element: an NB-Tree node with its gain upper bound.
+type entry struct {
+	bound int32
+	node  *nbtree.Node
+}
+
+// entryHeap is a max-heap on bound, ties toward lower node index for
+// determinism.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	return h[i].node.Idx < h[j].node.Idx
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) {
+	e := x.(entry)
+	*h = append(*h, &e)
+}
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// ChooseGridFromLog picks up to gridSize thresholds from a log of past
+// query thresholds by sampling quantiles of the logged distribution —
+// §7.1's scheme 1: "the thresholds to index can be sampled from that
+// distribution". Duplicate quantile values collapse, so the result may be
+// shorter than gridSize.
+func ChooseGridFromLog(log []float64, gridSize int) []float64 {
+	if gridSize <= 0 || len(log) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), log...)
+	sort.Float64s(sorted)
+	grid := make([]float64, 0, gridSize)
+	for i := 1; i <= gridSize; i++ {
+		q := float64(i) / float64(gridSize+1)
+		v := sorted[int(q*float64(len(sorted)-1))]
+		if len(grid) == 0 || v > grid[len(grid)-1] {
+			grid = append(grid, v)
+		}
+	}
+	if max := sorted[len(sorted)-1]; len(grid) == 0 || grid[len(grid)-1] < max {
+		grid = append(grid, max)
+	}
+	return grid
+}
+
+// ChooseGrid picks gridSize thresholds for the π̂-vector from a sampled
+// distance distribution, placing thresholds at equally spaced quantiles so
+// that steep regions of the cumulative distribution get proportionally more
+// thresholds (§7.1, scheme 2).
+func ChooseGrid(db *graph.Database, m metric.Metric, gridSize, samplePairs int, rng *rand.Rand) []float64 {
+	if gridSize <= 0 || db.Len() < 2 {
+		return nil
+	}
+	ds := make([]float64, 0, samplePairs)
+	for i := 0; i < samplePairs; i++ {
+		a := graph.ID(rng.Intn(db.Len()))
+		b := graph.ID(rng.Intn(db.Len()))
+		if a == b {
+			continue
+		}
+		ds = append(ds, m.Distance(a, b))
+	}
+	if len(ds) == 0 {
+		return nil
+	}
+	sort.Float64s(ds)
+	grid := make([]float64, 0, gridSize)
+	for i := 1; i <= gridSize; i++ {
+		q := float64(i) / float64(gridSize+1)
+		v := ds[int(q*float64(len(ds)-1))]
+		if len(grid) == 0 || v > grid[len(grid)-1] {
+			grid = append(grid, v)
+		}
+	}
+	// Always index past the sampled maximum so every realistic θ is covered.
+	if max := ds[len(ds)-1]; len(grid) == 0 || grid[len(grid)-1] < max {
+		grid = append(grid, max)
+	}
+	return grid
+}

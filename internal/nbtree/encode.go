@@ -1,0 +1,77 @@
+package nbtree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"graphrep/internal/graph"
+)
+
+// nodeRecord is the flat serialized form of a Node; parent/child pointers
+// are rebuilt from ParentIdx on load. Records are stored in DFS preorder, so
+// a parent always precedes its children.
+type nodeRecord struct {
+	Centroid  graph.ID
+	Radius    float64
+	Diameter  float64
+	ParentIdx int // -1 for the root
+	Size      int
+	Leaf      bool
+}
+
+type treeSnapshot struct {
+	Records []nodeRecord
+	Stats   BuildStats
+}
+
+// Encode serializes the tree (gob).
+func (t *Tree) Encode(w io.Writer) error {
+	recs := make([]nodeRecord, len(t.nodes))
+	for i, n := range t.nodes {
+		parent := -1
+		if n.Parent != nil {
+			parent = n.Parent.Idx
+		}
+		recs[i] = nodeRecord{
+			Centroid: n.Centroid, Radius: n.Radius, Diameter: n.Diameter,
+			ParentIdx: parent, Size: n.Size, Leaf: n.Leaf,
+		}
+	}
+	return gob.NewEncoder(w).Encode(treeSnapshot{Records: recs, Stats: t.stats})
+}
+
+// ReadTree deserializes a tree written by Encode.
+func ReadTree(r io.Reader) (*Tree, error) {
+	var s treeSnapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nbtree: decode: %w", err)
+	}
+	if len(s.Records) == 0 {
+		return nil, fmt.Errorf("nbtree: corrupt snapshot: no nodes")
+	}
+	t := &Tree{nodes: make([]*Node, len(s.Records)), stats: s.Stats}
+	for i, rec := range s.Records {
+		t.nodes[i] = &Node{
+			Idx: i, Centroid: rec.Centroid, Radius: rec.Radius,
+			Diameter: rec.Diameter, Size: rec.Size, Leaf: rec.Leaf,
+		}
+		switch {
+		case rec.ParentIdx == -1:
+			if i != 0 {
+				return nil, fmt.Errorf("nbtree: corrupt snapshot: extra root at %d", i)
+			}
+			t.root = t.nodes[0]
+		case rec.ParentIdx < 0 || rec.ParentIdx >= i:
+			return nil, fmt.Errorf("nbtree: corrupt snapshot: node %d has parent %d", i, rec.ParentIdx)
+		default:
+			p := t.nodes[rec.ParentIdx]
+			t.nodes[i].Parent = p
+			p.Children = append(p.Children, t.nodes[i])
+		}
+	}
+	if t.root == nil {
+		return nil, fmt.Errorf("nbtree: corrupt snapshot: no root")
+	}
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package nbtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestTreeEncodeRoundTrip(t *testing.T) {
+	db, m := randDB(t, 60, 201)
+	tree, err := Build(db, m, Options{Branching: 3}, rand.New(rand.NewSource(202)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatalf("ReadTree: %v", err)
+	}
+	if err := got.Validate(db, m); err != nil {
+		t.Fatalf("reloaded tree invalid: %v", err)
+	}
+	if len(got.Nodes()) != len(tree.Nodes()) {
+		t.Fatalf("node count %d, want %d", len(got.Nodes()), len(tree.Nodes()))
+	}
+	for i, n := range tree.Nodes() {
+		g := got.Nodes()[i]
+		if g.Centroid != n.Centroid || g.Radius != n.Radius || g.Diameter != n.Diameter ||
+			g.Size != n.Size || g.Leaf != n.Leaf || g.Idx != n.Idx {
+			t.Fatalf("node %d differs: %+v vs %+v", i, g, n)
+		}
+	}
+	if got.Stats() != tree.Stats() {
+		t.Errorf("stats differ: %+v vs %+v", got.Stats(), tree.Stats())
+	}
+	if got.Height() != tree.Height() {
+		t.Errorf("height differs")
+	}
+}
+
+func TestReadTreeErrors(t *testing.T) {
+	if _, err := ReadTree(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadTree(bytes.NewReader([]byte("not a tree at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,324 @@
+// Package server exposes a graphrep engine over HTTP with a small JSON API,
+// so non-Go clients can issue top-k representative queries against an
+// indexed graph database. Endpoints:
+//
+//	GET  /stats                  database and index statistics
+//	POST /query                  top-k representative query
+//	POST /sweep                  θ sweep ("zoom level" explorer)
+//	GET  /graph?id=N             one graph (labels, edges, features)
+//
+// Relevance functions arrive as declarative specs (quartile / threshold /
+// topics / weighted) rather than code, mirroring the query functions of
+// Table 1.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"graphrep"
+)
+
+// Server serves one engine. Sessions are cached per relevance spec so that
+// repeated queries (the interactive refinement pattern) hit the fast path.
+type Server struct {
+	engine *graphrep.Engine
+	db     *graphrep.Database
+
+	mu       sync.Mutex
+	sessions map[string]*graphrep.Session
+}
+
+// New wraps an engine.
+func New(engine *graphrep.Engine) *Server {
+	return &Server{
+		engine:   engine,
+		db:       engine.Database(),
+		sessions: make(map[string]*graphrep.Session),
+	}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/graph", s.handleGraph)
+	mux.HandleFunc("/insert", s.handleInsert)
+	return mux
+}
+
+// InsertRequest is the /insert payload: one graph in the same shape /graph
+// returns (the ID is assigned by the server).
+type InsertRequest struct {
+	Labels   []uint32  `json:"labels"`
+	Edges    [][3]int  `json:"edges"`
+	Features []float64 `json:"features"`
+}
+
+// InsertResponse reports the assigned ID.
+type InsertResponse struct {
+	ID int32 `json:"id"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := graphrep.ID(s.db.Len())
+	b := graphrep.NewBuilder(len(req.Labels))
+	for _, l := range req.Labels {
+		b.AddVertex(graphrep.Label(l))
+	}
+	for _, e := range req.Edges {
+		b.AddEdge(e[0], e[1], graphrep.Label(e[2]))
+	}
+	b.SetFeatures(req.Features)
+	g, err := b.Build(id)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.engine.Insert(g); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Cached sessions predate the insert and would silently miss the new
+	// graph; drop them so the next query re-initializes.
+	s.sessions = make(map[string]*graphrep.Session)
+	writeJSON(w, InsertResponse{ID: int32(id)})
+}
+
+// RelevanceSpec selects graphs declaratively.
+type RelevanceSpec struct {
+	// Kind is "quartile", "threshold", "topics", or "weighted".
+	Kind string `json:"kind"`
+	// Dims restricts quartile/threshold scoring to these feature dimensions
+	// (empty = all).
+	Dims []int `json:"dims,omitempty"`
+	// Tau is the threshold for threshold/topics/weighted kinds.
+	Tau float64 `json:"tau,omitempty"`
+	// Topics lists query topics for the topics kind.
+	Topics []int `json:"topics,omitempty"`
+	// Weights holds w for the weighted kind.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// compile turns a spec into a relevance function.
+func (s *Server) compile(spec RelevanceSpec) (graphrep.Relevance, error) {
+	switch spec.Kind {
+	case "quartile":
+		return graphrep.FirstQuartileRelevance(s.db, spec.Dims), nil
+	case "threshold":
+		score := graphrep.DimensionScore(spec.Dims)
+		tau := spec.Tau
+		return func(f []float64) bool { return score(f) >= tau }, nil
+	case "topics":
+		return graphrep.TopicRelevance(spec.Topics, spec.Tau), nil
+	case "weighted":
+		return graphrep.WeightedRelevance(spec.Weights, spec.Tau), nil
+	default:
+		return nil, fmt.Errorf("unknown relevance kind %q", spec.Kind)
+	}
+}
+
+// session returns a cached session for the spec, creating it on first use.
+func (s *Server) session(spec RelevanceSpec) (*graphrep.Session, error) {
+	key, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[string(key)]; ok {
+		return sess, nil
+	}
+	rel, err := s.compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.engine.NewSession(rel)
+	if err != nil {
+		return nil, err
+	}
+	s.sessions[string(key)] = sess
+	return sess, nil
+}
+
+// QueryRequest is the /query and /sweep payload.
+type QueryRequest struct {
+	Relevance RelevanceSpec `json:"relevance"`
+	Theta     float64       `json:"theta"`
+	K         int           `json:"k"`
+}
+
+// QueryResponse is the /query result.
+type QueryResponse struct {
+	Answer   []int32 `json:"answer"`
+	Gains    []int   `json:"gains"`
+	Power    float64 `json:"power"`
+	Covered  int     `json:"covered"`
+	Relevant int     `json:"relevant"`
+	CR       float64 `json:"cr"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Theta < 0 || req.K <= 0 {
+		httpError(w, http.StatusBadRequest, "theta must be ≥ 0 and k ≥ 1")
+		return
+	}
+	sess, err := s.session(req.Relevance)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Sessions are not safe for concurrent TopK calls; serialize.
+	s.mu.Lock()
+	res, err := sess.TopK(req.Theta, req.K)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := QueryResponse{
+		Gains:    res.Gains,
+		Power:    res.Power,
+		Covered:  res.Covered,
+		Relevant: res.Relevant,
+		CR:       res.CompressionRatio(),
+	}
+	for _, id := range res.Answer {
+		resp.Answer = append(resp.Answer, int32(id))
+	}
+	writeJSON(w, resp)
+}
+
+// SweepResponse is the /sweep result.
+type SweepResponse struct {
+	Points    []graphrep.ThetaPoint `json:"points"`
+	Suggested graphrep.ThetaPoint   `json:"suggested"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.K <= 0 {
+		httpError(w, http.StatusBadRequest, "k must be ≥ 1")
+		return
+	}
+	sess, err := s.session(req.Relevance)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	points, err := sess.SweepTheta(req.K)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	best, err := graphrep.SuggestTheta(points)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, SweepResponse{Points: points, Suggested: best})
+}
+
+// StatsResponse is the /stats result.
+type StatsResponse struct {
+	Graphs     int     `json:"graphs"`
+	AvgNodes   float64 `json:"avgNodes"`
+	AvgEdges   float64 `json:"avgEdges"`
+	Labels     int     `json:"labels"`
+	FeatureDim int     `json:"featureDim"`
+	IndexBytes int64   `json:"indexBytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.db.Stats()
+	writeJSON(w, StatsResponse{
+		Graphs:     st.Graphs,
+		AvgNodes:   st.AvgNodes,
+		AvgEdges:   st.AvgEdges,
+		Labels:     st.Labels,
+		FeatureDim: s.db.FeatureDim(),
+		IndexBytes: s.engine.IndexBytes(),
+	})
+}
+
+// GraphResponse is the /graph result.
+type GraphResponse struct {
+	ID       int32     `json:"id"`
+	Labels   []uint32  `json:"labels"`
+	Edges    [][3]int  `json:"edges"` // [u, v, label]
+	Features []float64 `json:"features"`
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil || id < 0 || id >= s.db.Len() {
+		httpError(w, http.StatusNotFound, "unknown graph id")
+		return
+	}
+	g := s.db.Graph(graphrep.ID(id))
+	resp := GraphResponse{ID: int32(id), Features: g.Features()}
+	for _, l := range g.VertexLabels() {
+		resp.Labels = append(resp.Labels, uint32(l))
+	}
+	for _, e := range g.Edges() {
+		resp.Edges = append(resp.Edges, [3]int{e.U, e.V, int(e.Label)})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Response already started; nothing useful to do beyond logging at
+		// the caller. Keep the handler silent here.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"graphrep"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *graphrep.Database) {
+	t.Helper()
+	db, err := graphrep.GenerateDataset("dud", 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine).Handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, db := testServer(t)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Graphs != db.Len() || st.FeatureDim != db.FeatureDim() || st.IndexBytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// POST to a GET endpoint is rejected.
+	if r := postJSON(t, ts.URL+"/stats", map[string]int{}, nil); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats status %d", r.StatusCode)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var qr QueryResponse
+	resp := postJSON(t, ts.URL+"/query", QueryRequest{
+		Relevance: RelevanceSpec{Kind: "quartile"},
+		Theta:     10,
+		K:         5,
+	}, &qr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(qr.Answer) == 0 || qr.Power <= 0 || qr.Relevant <= 0 {
+		t.Errorf("response %+v", qr)
+	}
+	if len(qr.Gains) != len(qr.Answer) {
+		t.Errorf("gains/answer mismatch")
+	}
+	// Repeated query hits the cached session and agrees.
+	var qr2 QueryResponse
+	postJSON(t, ts.URL+"/query", QueryRequest{
+		Relevance: RelevanceSpec{Kind: "quartile"},
+		Theta:     10,
+		K:         5,
+	}, &qr2)
+	if qr2.Power != qr.Power {
+		t.Errorf("cached session answered differently: %v vs %v", qr2.Power, qr.Power)
+	}
+}
+
+func TestQueryRelevanceKinds(t *testing.T) {
+	ts, _ := testServer(t)
+	specs := []RelevanceSpec{
+		{Kind: "quartile", Dims: []int{0}},
+		{Kind: "threshold", Dims: []int{0}, Tau: 0.5},
+		{Kind: "topics", Topics: []int{0, 1}, Tau: 0.05},
+		{Kind: "weighted", Weights: []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, Tau: 3},
+	}
+	for _, spec := range specs {
+		var qr QueryResponse
+		resp := postJSON(t, ts.URL+"/query", QueryRequest{Relevance: spec, Theta: 10, K: 3}, &qr)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("kind %s: status %d", spec.Kind, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, _ := testServer(t)
+	cases := []QueryRequest{
+		{Relevance: RelevanceSpec{Kind: "nope"}, Theta: 5, K: 3},
+		{Relevance: RelevanceSpec{Kind: "quartile"}, Theta: -1, K: 3},
+		{Relevance: RelevanceSpec{Kind: "quartile"}, Theta: 5, K: 0},
+	}
+	for i, req := range cases {
+		if r := postJSON(t, ts.URL+"/query", req, nil); r.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, r.StatusCode)
+		}
+	}
+	// Unknown fields are rejected.
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		bytes.NewReader([]byte(`{"bogus": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", resp.StatusCode)
+	}
+	// GET on /query is rejected.
+	getResp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d", getResp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	var sr SweepResponse
+	resp := postJSON(t, ts.URL+"/sweep", QueryRequest{
+		Relevance: RelevanceSpec{Kind: "quartile"},
+		K:         5,
+	}, &sr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(sr.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	if sr.Suggested.Theta < sr.Points[0].Theta || sr.Suggested.Theta > sr.Points[len(sr.Points)-1].Theta {
+		t.Errorf("suggested θ %v outside sweep range", sr.Suggested.Theta)
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	ts, db := testServer(t)
+	resp, err := http.Get(fmt.Sprintf("%s/graph?id=%d", ts.URL, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var gr GraphResponse
+	if err := json.NewDecoder(resp.Body).Decode(&gr); err != nil {
+		t.Fatal(err)
+	}
+	g := db.Graph(3)
+	if gr.ID != 3 || len(gr.Labels) != g.Order() || len(gr.Edges) != g.Size() {
+		t.Errorf("graph response %+v", gr)
+	}
+	for _, bad := range []string{"/graph?id=-1", "/graph?id=99999", "/graph?id=x"} {
+		r, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", bad, r.StatusCode)
+		}
+	}
+}
+
+func TestInsertEndpoint(t *testing.T) {
+	ts, db := testServer(t)
+	before := db.Len()
+	req := InsertRequest{
+		Labels:   []uint32{1, 2, 3},
+		Edges:    [][3]int{{0, 1, 0}, {1, 2, 0}},
+		Features: make([]float64, db.FeatureDim()),
+	}
+	var ir InsertResponse
+	resp := postJSON(t, ts.URL+"/insert", req, &ir)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if int(ir.ID) != before || db.Len() != before+1 {
+		t.Fatalf("assigned id %d, db len %d (was %d)", ir.ID, db.Len(), before)
+	}
+	// The inserted graph is retrievable.
+	gResp, err := http.Get(fmt.Sprintf("%s/graph?id=%d", ts.URL, ir.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gResp.Body.Close()
+	var gr GraphResponse
+	if err := json.NewDecoder(gResp.Body).Decode(&gr); err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Labels) != 3 || len(gr.Edges) != 2 {
+		t.Errorf("inserted graph round trip: %+v", gr)
+	}
+	// Queries after the insert see the grown database.
+	var qr QueryResponse
+	postJSON(t, ts.URL+"/query", QueryRequest{
+		Relevance: RelevanceSpec{Kind: "quartile"}, Theta: 10, K: 3,
+	}, &qr)
+	if qr.Relevant == 0 {
+		t.Error("post-insert query degenerate")
+	}
+	// Malformed graphs are rejected.
+	bad := InsertRequest{Labels: []uint32{1}, Edges: [][3]int{{0, 5, 0}}}
+	if r := postJSON(t, ts.URL+"/insert", bad, nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed insert: status %d", r.StatusCode)
+	}
+}
+
+// The server must be safe under concurrent clients.
+func TestConcurrentQueries(t *testing.T) {
+	ts, _ := testServer(t)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 5; i++ {
+				var qr QueryResponse
+				buf, _ := json.Marshal(QueryRequest{
+					Relevance: RelevanceSpec{Kind: "quartile"},
+					Theta:     8 + float64(w),
+					K:         3,
+				})
+				resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					done <- err
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the light statistical machinery the paper's
+// analysis needs: summary statistics, empirical histograms and CDFs of
+// pairwise distances (Figs. 5(a–e)), the standard normal CDF, and the
+// theoretical false-positive-rate bounds for vantage points (Eq. 11 for
+// Gaussian metric spaces, Eq. 12 for uniform ones).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear interpolation.
+// xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// NormalCDF is φ(x): the CDF of the standard normal distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// Histogram is a fixed-width-bin histogram over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram bins xs into bins equal-width buckets spanning the data range.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	h := &Histogram{Counts: make([]int, bins)}
+	if len(xs) == 0 {
+		return h
+	}
+	h.Min, h.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	width := (h.Max - h.Min) / float64(bins)
+	for _, x := range xs {
+		i := bins - 1
+		if width > 0 {
+			i = int((x - h.Min) / width)
+			if i >= bins {
+				i = bins - 1
+			}
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*width
+}
+
+// Fraction returns the fraction of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from xs (copied and sorted).
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns P(X ≤ x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample count.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// GaussianFPRBound is Eq. 11 of the paper: an upper bound on the vantage
+// false positive rate when pairwise distances are ~ N(mu, sigma²) and
+// numVPs vantage points are used at threshold theta.
+//
+//	FPR ≤ (1 − φ((θ−μ)/σ)) · (2φ(θ/σ) − 1)^|V|
+func GaussianFPRBound(theta, mu, sigma float64, numVPs int) float64 {
+	if sigma <= 0 {
+		return 0
+	}
+	relevantTail := 1 - NormalCDF((theta-mu)/sigma)
+	perVP := 2*NormalCDF(theta/sigma) - 1
+	if perVP < 0 {
+		perVP = 0
+	}
+	return relevantTail * math.Pow(perVP, float64(numVPs))
+}
+
+// UniformFPRBound is Eq. 12 of the paper: the FPR when distances are
+// uniform on [0, m·θ] (m = diameter in units of θ) with numVPs vantage
+// points.
+//
+//	FPR = (m−1)/m · 1/m^|V|
+func UniformFPRBound(m float64, numVPs int) float64 {
+	if m <= 1 {
+		return 0
+	}
+	return (m - 1) / m / math.Pow(m, float64(numVPs))
+}
+
+// MinVPsForFPR returns the smallest number of vantage points for which the
+// Gaussian bound (Eq. 11) drops to at most target at threshold theta. It is
+// how the experiments choose |V| ("limit the FPR below 5%", §8.2.2). The
+// search is capped at maxVPs.
+func MinVPsForFPR(theta, mu, sigma, target float64, maxVPs int) int {
+	for v := 1; v <= maxVPs; v++ {
+		if GaussianFPRBound(theta, mu, sigma, v) <= target {
+			return v
+		}
+	}
+	return maxVPs
+}
+
+// Summary bundles the distance-distribution statistics reported per dataset.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
+	if len(xs) > 0 {
+		s.Min, s.Max = xs[0], xs[0]
+		for _, x := range xs {
+			if x < s.Min {
+				s.Min = x
+			}
+			if x > s.Max {
+				s.Max = x
+			}
+		}
+	}
+	return s
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.2f max=%.2f", s.N, s.Mean, s.StdDev, s.Min, s.Max)
+}

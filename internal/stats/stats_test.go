@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("StdDev singleton != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+	// Interpolation between samples.
+	if got := Quantile([]float64{0, 10}, 0.75); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("Quantile interp = %v, want 7.5", got)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{6, 1},
+		{-6, 0},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("NormalCDF(%v) = %v, want ≈%v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram(xs, 5)
+	if h.Total != 10 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	sum := 0
+	for i := range h.Counts {
+		sum += h.Counts[i]
+		if h.Counts[i] != 2 {
+			t.Errorf("bin %d = %d, want 2", i, h.Counts[i])
+		}
+	}
+	if sum != 10 {
+		t.Errorf("sum = %d", sum)
+	}
+	if f := h.Fraction(0); f != 0.2 {
+		t.Errorf("Fraction(0) = %v", f)
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.9) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v, want 0.9", c)
+	}
+	// Degenerate inputs.
+	if NewHistogram(nil, 4).Total != 0 {
+		t.Error("empty histogram has samples")
+	}
+	one := NewHistogram([]float64{5, 5, 5}, 0)
+	if one.Total != 3 || len(one.Counts) != 1 {
+		t.Errorf("degenerate histogram %+v", one)
+	}
+	if one.Fraction(0) != 1 {
+		t.Error("all-equal samples not in single bin")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if NewECDF(nil).At(1) != 0 {
+		t.Error("empty ECDF")
+	}
+}
+
+// ECDF must be monotone non-decreasing in x: a property test.
+func TestECDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -40.0; x <= 40; x += 1.3 {
+			cur := e.At(x)
+			if cur < prev || cur < 0 || cur > 1 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussianFPRBound(t *testing.T) {
+	// More vantage points can only lower the bound.
+	prev := math.Inf(1)
+	for v := 1; v <= 200; v *= 2 {
+		b := GaussianFPRBound(10, 25, 8, v)
+		if b > prev+1e-15 {
+			t.Errorf("bound increased at |V|=%d: %v > %v", v, b, prev)
+		}
+		if b < 0 || b > 1 {
+			t.Errorf("bound out of range: %v", b)
+		}
+		prev = b
+	}
+	if GaussianFPRBound(10, 25, 0, 5) != 0 {
+		t.Error("sigma=0 should give 0")
+	}
+}
+
+func TestUniformFPRBound(t *testing.T) {
+	if got := UniformFPRBound(2, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("UniformFPRBound(2,1) = %v, want 0.25", got)
+	}
+	if UniformFPRBound(1, 5) != 0 || UniformFPRBound(0.5, 5) != 0 {
+		t.Error("m <= 1 should give 0")
+	}
+	if UniformFPRBound(4, 3) >= UniformFPRBound(4, 2) {
+		t.Error("bound must decrease with |V|")
+	}
+}
+
+func TestMinVPsForFPR(t *testing.T) {
+	v := MinVPsForFPR(10, 25, 8, 0.05, 500)
+	if v < 1 || v > 500 {
+		t.Fatalf("v = %d", v)
+	}
+	if GaussianFPRBound(10, 25, 8, v) > 0.05 {
+		t.Errorf("bound at returned v=%d exceeds target", v)
+	}
+	if v > 1 && GaussianFPRBound(10, 25, 8, v-1) <= 0.05 {
+		t.Errorf("v=%d is not minimal", v)
+	}
+	// Unreachable target is capped.
+	if got := MinVPsForFPR(10, 25, 8, 0, 7); got != 7 {
+		t.Errorf("cap = %d, want 7", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty Summary = %+v", z)
+	}
+}

@@ -1,0 +1,59 @@
+package vantage
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"graphrep/internal/graph"
+)
+
+// snapshot is the serialized form of an Ordering: the vantage points and
+// their distance rows. The sorted views are rebuilt on load.
+type snapshot struct {
+	VPs  []graph.ID
+	Dist [][]float64
+}
+
+// Encode serializes the ordering (gob). Vantage orderings are the costly
+// part of an NB-Index to build (O(|V|·|D|) distance computations), so
+// persisting them lets a database reopen without recomputing.
+func (o *Ordering) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(snapshot{VPs: o.vps, Dist: o.dist})
+}
+
+// ReadOrdering deserializes an Ordering written by Encode.
+func ReadOrdering(r io.Reader) (*Ordering, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("vantage: decode: %w", err)
+	}
+	if len(s.VPs) == 0 || len(s.Dist) != len(s.VPs) {
+		return nil, fmt.Errorf("vantage: corrupt snapshot: %d vps, %d rows", len(s.VPs), len(s.Dist))
+	}
+	n := len(s.Dist[0])
+	o := &Ordering{
+		vps:     s.VPs,
+		dist:    s.Dist,
+		byDist:  make([][]graph.ID, len(s.VPs)),
+		sortedD: make([][]float64, len(s.VPs)),
+	}
+	for v, row := range s.Dist {
+		if len(row) != n {
+			return nil, fmt.Errorf("vantage: corrupt snapshot: row %d has %d entries, want %d", v, len(row), n)
+		}
+		ids := make([]graph.ID, n)
+		for i := range ids {
+			ids[i] = graph.ID(i)
+		}
+		sort.Slice(ids, func(a, b int) bool { return row[ids[a]] < row[ids[b]] })
+		o.byDist[v] = ids
+		sd := make([]float64, n)
+		for i, id := range ids {
+			sd[i] = row[id]
+		}
+		o.sortedD[v] = sd
+	}
+	return o, nil
+}

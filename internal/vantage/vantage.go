@@ -1,0 +1,304 @@
+// Package vantage implements vantage orderings (Definitions 3–4 of the
+// paper): a Lipschitz embedding of the graph metric space into |V| one-
+// dimensional "vantage spaces", one per vantage point. The embedding yields
+//
+//   - a lower bound on d(a,b): the vantage distance max_v |d(v,a) − d(v,b)|
+//     (Theorem 4), and
+//   - an upper bound on d(a,b): min_v (d(v,a) + d(v,b)),
+//
+// from which the candidate neighborhood N̂(g) ⊇ N_θ(g) of Theorem 5 is
+// computed with |V| array scans and zero edit-distance computations.
+package vantage
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+)
+
+// SelectionPolicy chooses how vantage points are picked.
+type SelectionPolicy int
+
+const (
+	// SelectRandom picks vantage points uniformly at random (the paper's
+	// default; its FPR analysis assumes random VPs).
+	SelectRandom SelectionPolicy = iota
+	// SelectMaxMin picks the first VP at random and each subsequent VP as
+	// the graph maximizing the minimum distance to those already chosen
+	// (farthest-point sampling). Costs |V|·|D| extra distance computations
+	// but spreads the VPs, tightening the embedding.
+	SelectMaxMin
+)
+
+// Ordering holds the vantage orderings of a database: for every vantage
+// point, the distance from that VP to every graph, plus the 1-D orderings
+// used for range scans. Ordering is immutable after Build and safe for
+// concurrent use.
+type Ordering struct {
+	vps  []graph.ID
+	dist [][]float64 // dist[v][g] = d(vps[v], g)
+	// byDist[v] lists graph IDs sorted by dist[v][·]; sortedD[v] carries the
+	// matching sorted distances for binary search.
+	byDist  [][]graph.ID
+	sortedD [][]float64
+}
+
+// SelectVPs chooses numVPs vantage points from db under policy.
+func SelectVPs(db *graph.Database, m metric.Metric, numVPs int, policy SelectionPolicy, rng *rand.Rand) ([]graph.ID, error) {
+	n := db.Len()
+	if numVPs <= 0 || numVPs > n {
+		return nil, fmt.Errorf("vantage: numVPs=%d out of range for %d graphs", numVPs, n)
+	}
+	switch policy {
+	case SelectRandom:
+		perm := rng.Perm(n)
+		vps := make([]graph.ID, numVPs)
+		for i := range vps {
+			vps[i] = graph.ID(perm[i])
+		}
+		return vps, nil
+	case SelectMaxMin:
+		vps := []graph.ID{graph.ID(rng.Intn(n))}
+		minDist := make([]float64, n)
+		for i := range minDist {
+			minDist[i] = m.Distance(vps[0], graph.ID(i))
+		}
+		for len(vps) < numVPs {
+			best, bestD := graph.ID(-1), -1.0
+			for i := 0; i < n; i++ {
+				if minDist[i] > bestD {
+					best, bestD = graph.ID(i), minDist[i]
+				}
+			}
+			vps = append(vps, best)
+			for i := 0; i < n; i++ {
+				if d := m.Distance(best, graph.ID(i)); d < minDist[i] {
+					minDist[i] = d
+				}
+			}
+		}
+		return vps, nil
+	default:
+		return nil, fmt.Errorf("vantage: unknown policy %d", policy)
+	}
+}
+
+// Build computes the vantage orderings of db for the given vantage points.
+// It issues exactly len(vps)·|D| distance computations; rows for different
+// vantage points are computed in parallel (the metric must be safe for
+// concurrent use, which every metric in this module is).
+func Build(db *graph.Database, m metric.Metric, vps []graph.ID) (*Ordering, error) {
+	if len(vps) == 0 {
+		return nil, fmt.Errorf("vantage: no vantage points")
+	}
+	n := db.Len()
+	o := &Ordering{
+		vps:     append([]graph.ID(nil), vps...),
+		dist:    make([][]float64, len(vps)),
+		byDist:  make([][]graph.ID, len(vps)),
+		sortedD: make([][]float64, len(vps)),
+	}
+	for _, vp := range o.vps {
+		if int(vp) < 0 || int(vp) >= n {
+			return nil, fmt.Errorf("vantage: vp %d out of range", vp)
+		}
+	}
+	workers := runtime.NumCPU()
+	if workers > len(o.vps) {
+		workers = len(o.vps)
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range rows {
+				vp := o.vps[v]
+				row := make([]float64, n)
+				for i := 0; i < n; i++ {
+					row[i] = m.Distance(vp, graph.ID(i))
+				}
+				o.dist[v] = row
+				ids := make([]graph.ID, n)
+				for i := range ids {
+					ids[i] = graph.ID(i)
+				}
+				sort.Slice(ids, func(a, b int) bool { return row[ids[a]] < row[ids[b]] })
+				o.byDist[v] = ids
+				sd := make([]float64, n)
+				for i, id := range ids {
+					sd[i] = row[id]
+				}
+				o.sortedD[v] = sd
+			}
+		}()
+	}
+	for v := range o.vps {
+		rows <- v
+	}
+	close(rows)
+	wg.Wait()
+	return o, nil
+}
+
+// NumVPs returns the number of vantage points.
+func (o *Ordering) NumVPs() int { return len(o.vps) }
+
+// VPs returns the vantage point IDs. The caller must not modify the slice.
+func (o *Ordering) VPs() []graph.ID { return o.vps }
+
+// Len returns the number of embedded graphs.
+func (o *Ordering) Len() int { return len(o.dist[0]) }
+
+// VPDistance returns d(vps[v], g) from the precomputed embedding.
+func (o *Ordering) VPDistance(v int, g graph.ID) float64 { return o.dist[v][g] }
+
+// LowerBound returns the vantage distance max_v |d(v,a) − d(v,b)|, a lower
+// bound on d(a,b) (Theorem 4 / Definition 4 lifted to a VP set).
+func (o *Ordering) LowerBound(a, b graph.ID) float64 {
+	lb := 0.0
+	for v := range o.dist {
+		if d := math.Abs(o.dist[v][a] - o.dist[v][b]); d > lb {
+			lb = d
+		}
+	}
+	return lb
+}
+
+// UpperBound returns min_v (d(v,a) + d(v,b)), an upper bound on d(a,b) by
+// the triangle inequality.
+func (o *Ordering) UpperBound(a, b graph.ID) float64 {
+	ub := math.MaxFloat64
+	for v := range o.dist {
+		if d := o.dist[v][a] + o.dist[v][b]; d < ub {
+			ub = d
+		}
+	}
+	return ub
+}
+
+// Candidates computes N̂_θ(g) restricted to the graphs for which include
+// returns true (pass nil to include everything): every graph whose vantage
+// distance to g is ≤ θ in all vantage spaces. By Theorem 5 the result is a
+// superset of the true θ-neighborhood N_θ(g) ∩ include.
+//
+// The first vantage ordering is scanned with binary search to bound the
+// candidate range; the remaining vantage spaces filter by O(1) lookups.
+func (o *Ordering) Candidates(g graph.ID, theta float64, include func(graph.ID) bool) []graph.ID {
+	d0 := o.dist[0][g]
+	lo := sort.SearchFloat64s(o.sortedD[0], d0-theta)
+	hi := sort.SearchFloat64s(o.sortedD[0], math.Nextafter(d0+theta, math.Inf(1)))
+	var out []graph.ID
+scan:
+	for i := lo; i < hi; i++ {
+		id := o.byDist[0][i]
+		if include != nil && !include(id) {
+			continue
+		}
+		for v := 1; v < len(o.dist); v++ {
+			if math.Abs(o.dist[v][id]-o.dist[v][g]) > theta {
+				continue scan
+			}
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Candidate is a candidate neighbor together with its vantage lower bound.
+type Candidate struct {
+	ID graph.ID
+	// LB is the vantage distance max_v |d(v,g) − d(v,ID)| ≤ d(g, ID).
+	LB float64
+}
+
+// CandidatesWithLB is Candidates returning each candidate's vantage lower
+// bound as well. A candidate with LB ≤ θ' belongs to N̂_θ'(g) for every
+// θ' ≤ theta, which lets one scan at the largest indexed threshold populate
+// the whole π̂-vector (Definition 6).
+func (o *Ordering) CandidatesWithLB(g graph.ID, theta float64, include func(graph.ID) bool) []Candidate {
+	d0 := o.dist[0][g]
+	lo := sort.SearchFloat64s(o.sortedD[0], d0-theta)
+	hi := sort.SearchFloat64s(o.sortedD[0], math.Nextafter(d0+theta, math.Inf(1)))
+	var out []Candidate
+scan:
+	for i := lo; i < hi; i++ {
+		id := o.byDist[0][i]
+		if include != nil && !include(id) {
+			continue
+		}
+		lb := math.Abs(o.sortedD[0][i] - d0)
+		for v := 1; v < len(o.dist); v++ {
+			d := math.Abs(o.dist[v][id] - o.dist[v][g])
+			if d > theta {
+				continue scan
+			}
+			if d > lb {
+				lb = d
+			}
+		}
+		out = append(out, Candidate{ID: id, LB: lb})
+	}
+	return out
+}
+
+// FPRSample measures the observed false positive rate of the embedding: the
+// fraction of candidate pairs (within vantage distance θ) that are not true
+// θ-neighbors under m. It samples `samples` query graphs using rng. This
+// reproduces the measurement behind Figs. 5(f–h).
+func (o *Ordering) FPRSample(m metric.Metric, theta float64, samples int, rng *rand.Rand) float64 {
+	n := o.Len()
+	candidates, falsePos := 0, 0
+	for s := 0; s < samples; s++ {
+		g := graph.ID(rng.Intn(n))
+		for _, id := range o.Candidates(g, theta, nil) {
+			if id == g {
+				continue
+			}
+			candidates++
+			if m.Distance(g, id) > theta {
+				falsePos++
+			}
+		}
+	}
+	if candidates == 0 {
+		return 0
+	}
+	return float64(falsePos) / float64(candidates)
+}
+
+// Insert extends the ordering with a newly appended database graph: one
+// distance computation per vantage point plus a sorted insertion into each
+// vantage ordering. The graph's ID must equal the current Len(). Not safe
+// concurrently with reads.
+func (o *Ordering) Insert(id graph.ID, m metric.Metric) error {
+	if int(id) != o.Len() {
+		return fmt.Errorf("vantage: inserting id %d, want %d", id, o.Len())
+	}
+	for v, vp := range o.vps {
+		d := m.Distance(vp, id)
+		o.dist[v] = append(o.dist[v], d)
+		pos := sort.SearchFloat64s(o.sortedD[v], d)
+		o.sortedD[v] = append(o.sortedD[v], 0)
+		copy(o.sortedD[v][pos+1:], o.sortedD[v][pos:])
+		o.sortedD[v][pos] = d
+		o.byDist[v] = append(o.byDist[v], 0)
+		copy(o.byDist[v][pos+1:], o.byDist[v][pos:])
+		o.byDist[v][pos] = id
+	}
+	return nil
+}
+
+// Bytes returns the approximate memory footprint of the ordering: the VO
+// storage cost O(|V|·|D|) from the paper's storage analysis.
+func (o *Ordering) Bytes() int64 {
+	per := int64(o.Len()) * (8 + 4 + 8) // dist + id + sorted distance
+	return per * int64(o.NumVPs())
+}
