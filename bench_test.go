@@ -6,10 +6,13 @@ package graphrep_test
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"graphrep"
 	"graphrep/internal/experiments"
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
 )
 
 // benchScale keeps every artifact bench in the low seconds.
@@ -93,6 +96,74 @@ func BenchmarkTopKRepresentative(b *testing.B) {
 		if _, err := engine.TopKRepresentative(graphrep.Query{Relevance: rel, Theta: 10, K: 10}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Cache vs Matrix: the two ways to avoid recomputing distances. Matrix pays
+// O(n²) distances and memory up front for branch-free O(1) lookups; Cache
+// pays nothing up front, costs a lock-guarded map probe per lookup, and only
+// ever materializes the pairs a workload touches. The benchmarks record the
+// steady-state lookup gap (run with -benchmem to see the allocation side);
+// the construction benchmarks record the up-front cost the Matrix amortizes.
+// Rule of thumb from these numbers: Matrix wins for small, long-lived,
+// uniformly accessed databases (experiments); Cache wins everywhere else,
+// which is why Open wires Cache in by default.
+
+func benchLookupDB(b *testing.B) (*graphrep.Database, []graph.ID) {
+	b.Helper()
+	db, err := graphrep.GenerateDataset("dud", 200, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	pairs := make([]graph.ID, 2048)
+	for i := range pairs {
+		pairs[i] = graph.ID(rng.Intn(db.Len()))
+	}
+	return db, pairs
+}
+
+func BenchmarkCacheLookup(b *testing.B) {
+	db, pairs := benchLookupDB(b)
+	cache := metric.NewCache(metric.Star(db))
+	// Warm every benchmarked pair so the measured loop is pure hit path.
+	for i := 0; i < len(pairs); i += 2 {
+		cache.Distance(pairs[i], pairs[i+1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := (i * 2) % len(pairs)
+		cache.Distance(pairs[j], pairs[j+1])
+	}
+}
+
+func BenchmarkMatrixLookup(b *testing.B) {
+	db, pairs := benchLookupDB(b)
+	mat := metric.NewMatrix(db, metric.Star(db), 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := (i * 2) % len(pairs)
+		mat.Distance(pairs[j], pairs[j+1])
+	}
+}
+
+func BenchmarkCacheConstruction(b *testing.B) {
+	db, _ := benchLookupDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = metric.NewCache(metric.Star(db))
+	}
+}
+
+func BenchmarkMatrixConstruction(b *testing.B) {
+	db, _ := benchLookupDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = metric.NewMatrix(db, metric.Star(db), 4)
 	}
 }
 

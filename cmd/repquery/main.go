@@ -33,6 +33,7 @@ func main() {
 		suggest     = flag.Bool("suggest", false, "sweep indexed thresholds and suggest a θ (\"zoom level\") before querying")
 		engineName  = flag.String("engine", "nbindex", "query engine: nbindex (indexed greedy), exact (quadratic greedy), polished (greedy + swap local search)")
 		dotDir      = flag.String("dot", "", "write each answer graph as Graphviz DOT into this directory")
+		stats       = flag.Bool("stats", false, "print telemetry aggregates (distance computations, cache, NB-Index work) after the query")
 	)
 	flag.Parse()
 
@@ -136,6 +137,21 @@ func main() {
 		top := engine.TraditionalTopK(graphrep.DimensionScore(dims), *k)
 		p := engine.Power(rel, top, *theta)
 		fmt.Printf("traditional top-%d: %v (π=%.3f)\n", *k, top, p)
+	}
+
+	if *stats {
+		snap := engine.Telemetry().Snapshot()
+		fmt.Println("telemetry:")
+		fmt.Printf("  distance computations  %d\n", snap.DistanceComputations)
+		if snap.CacheHits+snap.CacheMisses > 0 {
+			hitRate := float64(snap.CacheHits) / float64(snap.CacheHits+snap.CacheMisses)
+			fmt.Printf("  cache                  %d hits / %d misses (%.1f%% hit rate), %d entries\n",
+				snap.CacheHits, snap.CacheMisses, 100*hitRate, snap.CacheEntries)
+		}
+		fmt.Printf("  NB-Index queries       %d\n", snap.Queries)
+		qt := snap.QueryTotals
+		fmt.Printf("  per-query work totals  pq pops=%d verified leaves=%d candidate scans=%d exact distances=%d\n",
+			qt.PQPops, qt.VerifiedLeaves, qt.CandidateScans, qt.ExactDistances)
 	}
 }
 

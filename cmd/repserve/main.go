@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"graphrep"
@@ -26,12 +30,14 @@ import (
 
 func main() {
 	var (
-		name  = flag.String("dataset", "dud", "dataset preset (ignored with -in)")
-		n     = flag.Int("n", 1000, "graphs to generate (ignored with -in)")
-		seed  = flag.Int64("seed", 42, "generation seed")
-		in    = flag.String("in", "", "load the database from this file")
-		index = flag.String("index", "", "load/store the index at this file (skips rebuild when present)")
-		addr  = flag.String("addr", ":8080", "listen address")
+		name     = flag.String("dataset", "dud", "dataset preset (ignored with -in)")
+		n        = flag.Int("n", 1000, "graphs to generate (ignored with -in)")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		in       = flag.String("in", "", "load the database from this file")
+		index    = flag.String("index", "", "load/store the index at this file (skips rebuild when present)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		pprofOn  = flag.Bool("pprof", false, "mount runtime profiles under /debug/pprof/")
+		drainFor = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	)
 	flag.Parse()
 
@@ -47,10 +53,28 @@ func main() {
 	log.Printf("serving %d graphs (avg |V|=%.1f) on %s", st.Graphs, st.AvgNodes, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine).Handler(),
+		Handler:           server.New(engine, server.Options{Pprof: *pprofOn}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
+	// exiting so long-running queries are not cut off mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("shutting down (draining for up to %v)", *drainFor)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("shutdown: %v", err)
+		}
+	}
 }
 
 func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, error) {

@@ -45,6 +45,7 @@ import (
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
 	"graphrep/internal/nbindex"
+	"graphrep/internal/telemetry"
 )
 
 // Re-exported core types. Graphs are immutable; Database is the indexed
@@ -129,12 +130,14 @@ type Options struct {
 }
 
 // Engine answers top-k representative queries over one database through an
-// NB-Index. Engines are safe for sequential use; concurrent queries should
-// use separate Sessions.
+// NB-Index. Queries (TopKRepresentative, Session.TopK, SweepTheta) are safe
+// to run concurrently from any number of goroutines; Insert is the only
+// mutating operation and must be externally excluded from in-flight queries.
 type Engine struct {
-	db *Database
-	m  metric.Metric
-	ix *nbindex.Index
+	db  *Database
+	m   metric.Metric
+	ix  *nbindex.Index
+	tel *Telemetry
 }
 
 // Open indexes db and returns a query engine.
@@ -152,16 +155,9 @@ func Open(db *Database, opts ...Options) (*Engine, error) {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	var m metric.Metric
-	if o.Metric == nil {
-		m = metric.NewCache(metric.Star(db))
-	} else {
-		m = o.Metric
-		// Catch broken custom metrics early: a handful of cheap spot checks
-		// on the properties every index theorem assumes.
-		if err := sanityCheckMetric(db, m); err != nil {
-			return nil, err
-		}
+	m, counter, cache, err := instrumentMetric(db, o.Metric)
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	grid := o.ThetaGrid
@@ -200,7 +196,31 @@ func Open(db *Database, opts ...Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db, m: m, ix: ix}, nil
+	tel, err := newEngineTelemetry(db, ix, counter, cache)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db, m: m, ix: ix, tel: tel}, nil
+}
+
+// instrumentMetric wraps the configured metric for observability: a counting
+// layer (distance computations are the paper's central cost measure) and,
+// for the default star metric, a memoizing cache whose hit/miss totals feed
+// the same telemetry. Custom metrics are sanity-checked before wrapping so
+// the spot-check probes don't pollute the counters.
+func instrumentMetric(db *Database, custom Metric) (metric.Metric, *metric.Counter, *metric.Cache, error) {
+	if custom == nil {
+		counter := metric.NewCounter(metric.Star(db))
+		cache := metric.NewCache(counter)
+		return cache, counter, cache, nil
+	}
+	// Catch broken custom metrics early: a handful of cheap spot checks on
+	// the properties every index theorem assumes.
+	if err := sanityCheckMetric(db, custom); err != nil {
+		return nil, nil, nil, err
+	}
+	counter := metric.NewCounter(custom)
+	return counter, counter, nil, nil
 }
 
 // OpenWithIndex reopens a database with an index previously persisted by
@@ -214,15 +234,19 @@ func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) 
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	m := o.Metric
-	if m == nil {
-		m = metric.NewCache(metric.Star(db))
+	m, counter, cache, err := instrumentMetric(db, o.Metric)
+	if err != nil {
+		return nil, err
 	}
 	ix, err := nbindex.Read(r, db, m)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db, m: m, ix: ix}, nil
+	tel, err := newEngineTelemetry(db, ix, counter, cache)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db, m: m, ix: ix, tel: tel}, nil
 }
 
 // SaveIndex persists the engine's NB-Index so a later OpenWithIndex can skip
@@ -241,6 +265,120 @@ func (e *Engine) Insert(g *Graph) error {
 		return err
 	}
 	return e.ix.Insert(g.ID())
+}
+
+// QueryStats describes the work one indexed TopK call performed: priority
+// queue pops, exactly verified leaves, candidate scans, and exact distance
+// computations — the efficiency measures of the paper's §8.
+type QueryStats = nbindex.QueryStats
+
+// TelemetryRegistry collects the engine's metrics and renders them in the
+// Prometheus text exposition format. See Engine.Telemetry.
+type TelemetryRegistry = telemetry.Registry
+
+// Telemetry exposes the engine's cumulative observability state: distance
+// computation and cache totals, and per-phase NB-Index work histograms
+// folded in from every completed query. All counters update atomically on
+// the query path; reading them (Snapshot, WritePrometheus) is safe at any
+// time, concurrent with queries.
+type Telemetry struct {
+	reg     *telemetry.Registry
+	counter *metric.Counter
+	cache   *metric.Cache // nil when a custom metric is configured
+	nb      *nbindex.Telemetry
+}
+
+// newEngineTelemetry builds the engine's metric registry: distance-layer
+// counters bridged from metric.Counter/metric.Cache, database and index
+// gauges, and the nbindex per-query work histograms.
+func newEngineTelemetry(db *Database, ix *nbindex.Index, counter *metric.Counter, cache *metric.Cache) (*Telemetry, error) {
+	reg := telemetry.NewRegistry()
+	t := &Telemetry{reg: reg, counter: counter, cache: cache}
+	if err := reg.NewCounterFunc("graphrep_distance_computations_total",
+		"Exact graph distance computations issued (including index construction).",
+		counter.Count); err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		if err := reg.NewCounterFunc("graphrep_distance_cache_hits_total",
+			"Distance lookups answered from the memo table.", cache.Hits); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_distance_cache_misses_total",
+			"Distance lookups that computed a fresh distance.", cache.Misses); err != nil {
+			return nil, err
+		}
+		if err := reg.NewGaugeFunc("graphrep_distance_cache_entries",
+			"Memoized distance pairs resident in the cache.",
+			func() float64 { return float64(cache.Size()) }); err != nil {
+			return nil, err
+		}
+	}
+	if err := reg.NewGaugeFunc("graphrep_graphs",
+		"Graphs in the database.",
+		func() float64 { return float64(db.Len()) }); err != nil {
+		return nil, err
+	}
+	if err := reg.NewGaugeFunc("graphrep_index_bytes",
+		"Approximate NB-Index memory footprint.",
+		func() float64 { return float64(ix.Bytes()) }); err != nil {
+		return nil, err
+	}
+	nb, err := nbindex.NewTelemetry(reg)
+	if err != nil {
+		return nil, err
+	}
+	ix.SetTelemetry(nb)
+	t.nb = nb
+	return t, nil
+}
+
+// Telemetry returns the engine's observability state. The same registry is
+// shared by internal/server to expose HTTP metrics alongside the engine's,
+// so one GET /metrics scrape covers the whole process.
+func (e *Engine) Telemetry() *Telemetry { return e.tel }
+
+// Registry returns the underlying metric registry, for callers that want to
+// register additional metrics (the HTTP server does) or render exposition
+// output themselves.
+func (t *Telemetry) Registry() *TelemetryRegistry { return t.reg }
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format.
+func (t *Telemetry) WritePrometheus(w io.Writer) error { return t.reg.WritePrometheus(w) }
+
+// TelemetrySnapshot is a point-in-time copy of the engine's headline
+// aggregates, for programmatic consumption (cmd/repquery --stats prints
+// one). Counters are cumulative since Open.
+type TelemetrySnapshot struct {
+	// DistanceComputations counts exact distance computations issued,
+	// including those spent building the index.
+	DistanceComputations int64
+	// CacheHits / CacheMisses / CacheEntries describe the distance memo
+	// table; all zero when a custom metric is configured (no cache layer).
+	CacheHits, CacheMisses int64
+	CacheEntries           int
+	// Queries counts completed indexed TopK calls across all sessions.
+	Queries int64
+	// QueryTotals sums the per-query QueryStats of those calls.
+	QueryTotals QueryStats
+}
+
+// Snapshot copies the current aggregate values. Individual fields are read
+// atomically but not as one transaction; under concurrent load the fields
+// may be mutually inconsistent by at most the queries in flight.
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	s := TelemetrySnapshot{
+		DistanceComputations: t.counter.Count(),
+		Queries:              t.nb.Queries.Value(),
+		QueryTotals:          t.nb.Totals(),
+	}
+	if t.cache != nil {
+		s.CacheHits = t.cache.Hits()
+		s.CacheMisses = t.cache.Misses()
+		s.CacheEntries = t.cache.Size()
+	}
+	return s
 }
 
 // sanityCheckMetric spot-checks identity, non-negativity, symmetry, and the
@@ -348,8 +486,13 @@ func (e *Engine) NewSession(rel Relevance) (*Session, error) {
 	return &Session{s: e.ix.NewSession(rel)}, nil
 }
 
-// TopK answers a top-k representative query at threshold theta.
+// TopK answers a top-k representative query at threshold theta. It is safe
+// to call concurrently with other queries on the same or other sessions.
 func (s *Session) TopK(theta float64, k int) (*Result, error) { return s.s.TopK(theta, k) }
+
+// LastStats returns the work statistics of the most recently completed TopK
+// call on this session.
+func (s *Session) LastStats() QueryStats { return s.s.LastStats() }
 
 // ThetaPoint is one row of a threshold sweep: the quality of the answer the
 // engine returns at one θ.

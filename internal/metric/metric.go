@@ -106,10 +106,13 @@ func (c *Counter) Reset() { c.n.Store(0) }
 
 // Cache wraps a Metric with a thread-safe memo table keyed on unordered
 // pairs. Graph IDs are small ints, so the key packs both into one uint64.
+// Hit/miss totals are tracked atomically so observability layers can report
+// cache effectiveness without adding lock traffic to the hot path.
 type Cache struct {
-	inner Metric
-	mu    sync.RWMutex
-	memo  map[uint64]float64
+	inner        Metric
+	hits, misses atomic.Int64
+	mu           sync.RWMutex
+	memo         map[uint64]float64
 }
 
 // NewCache wraps m with an unbounded memo table.
@@ -124,7 +127,14 @@ func pairKey(a, b graph.ID) uint64 {
 	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
-// Distance implements Metric with memoization.
+// Distance implements Metric with memoization. Identity pairs (a == b) are
+// answered without touching the table and count as neither hit nor miss.
+//
+// Two goroutines that miss on the same key concurrently both compute the
+// distance and both count a miss; the metric is deterministic, so the
+// duplicated work is wasted but harmless, and keeping misses un-deduplicated
+// means Misses() equals the number of inner-metric computations issued —
+// the quantity the telemetry layer reports.
 func (c *Cache) Distance(a, b graph.ID) float64 {
 	if a == b {
 		return 0
@@ -134,8 +144,10 @@ func (c *Cache) Distance(a, b graph.ID) float64 {
 	d, ok := c.memo[k]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return d
 	}
+	c.misses.Add(1)
 	d = c.inner.Distance(a, b)
 	c.mu.Lock()
 	c.memo[k] = d
@@ -143,19 +155,39 @@ func (c *Cache) Distance(a, b graph.ID) float64 {
 	return d
 }
 
-// Size returns the number of memoized pairs.
+// Hits returns the number of Distance calls answered from the memo table.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of Distance calls that fell through to the
+// wrapped metric — i.e. the expensive distance computations actually issued
+// through this cache.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Size returns the number of memoized pairs. It takes the table's read lock,
+// so it runs concurrently with Distance lookups and only contends with the
+// brief write section of a miss; polling it from a metrics scraper is cheap.
 func (c *Cache) Size() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.memo)
 }
 
-// Clear drops every memoized pair. Benchmarks call this between measured
-// runs so one engine's distance computations cannot subsidize another's.
+// Clear drops every memoized pair and resets the hit/miss totals. Benchmarks
+// call this between measured runs so one engine's distance computations
+// cannot subsidize another's.
+//
+// Clear takes the write lock, so it briefly stalls every concurrent Distance
+// call while the map pointer is swapped (the swap is O(1); the old table is
+// reclaimed by the GC). A Distance call whose computation is in flight when
+// Clear runs stores its result into the fresh table afterwards — values are
+// deterministic, so this is correct, but it means Size() may be nonzero
+// immediately after Clear returns under concurrent load.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	c.memo = make(map[uint64]float64)
 	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
 }
 
 // Matrix is a fully precomputed symmetric distance matrix: O(n²) storage and

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"graphrep/internal/ged"
@@ -114,12 +115,21 @@ func TestCacheCorrectAndCounted(t *testing.T) {
 	if counter.Count() != 1 {
 		t.Error("identical-pair query reached inner metric")
 	}
+	// Hit/miss accounting: one miss (2,5), one hit (5,2); identity pairs
+	// count as neither.
+	if h, m := cache.Hits(), cache.Misses(); h != 1 || m != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", h, m)
+	}
+	if m := cache.Misses(); m != counter.Count() {
+		t.Errorf("misses %d != inner computations %d", m, counter.Count())
+	}
 }
 
 func TestCacheConcurrent(t *testing.T) {
 	db := testDB(t, 20, 5)
 	cache := NewCache(Star(db))
 	var wg sync.WaitGroup
+	var lookups atomic.Int64 // non-identity Distance calls issued
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -128,6 +138,9 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				a := graph.ID(rng.Intn(db.Len()))
 				b := graph.ID(rng.Intn(db.Len()))
+				if a != b {
+					lookups.Add(1)
+				}
 				got := cache.Distance(a, b)
 				if got < 0 {
 					t.Errorf("negative distance")
@@ -137,6 +150,14 @@ func TestCacheConcurrent(t *testing.T) {
 		}(int64(w))
 	}
 	wg.Wait()
+	// Every non-identity lookup is either a hit or a miss — no drops even
+	// under contention.
+	if total := cache.Hits() + cache.Misses(); total != lookups.Load() {
+		t.Errorf("hits+misses = %d, want %d", total, lookups.Load())
+	}
+	if cache.Misses() < int64(cache.Size()) {
+		t.Errorf("misses %d < memoized pairs %d", cache.Misses(), cache.Size())
+	}
 }
 
 func TestCacheClear(t *testing.T) {
@@ -151,6 +172,9 @@ func TestCacheClear(t *testing.T) {
 	cache.Clear()
 	if cache.Size() != 0 {
 		t.Errorf("Size after Clear = %d", cache.Size())
+	}
+	if h, m := cache.Hits(), cache.Misses(); h != 0 || m != 0 {
+		t.Errorf("hits/misses after Clear = %d/%d, want 0/0", h, m)
 	}
 	cache.Distance(0, 1)
 	if counter.Count() != 2 {

@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"graphrep/internal/bitset"
 	"graphrep/internal/core"
@@ -75,6 +76,8 @@ type Index struct {
 	grid []float64
 	// leafOf maps a graph ID to its leaf node index in tree.Nodes().
 	leafOf []int
+	// tel, when set, aggregates QueryStats across every session's queries.
+	tel atomic.Pointer[Telemetry]
 }
 
 // Build constructs the NB-Index: vantage point selection, vantage orderings,
@@ -181,6 +184,12 @@ func (ix *Index) GridSlot(theta float64) int {
 // for every relevant graph plus the supporting relevance state. A Session
 // answers any number of TopK calls at varying θ (interactive refinement)
 // without repeating the initialization.
+//
+// After initialization a Session is read-only apart from the LastStats
+// bookkeeping, which is mutex-guarded, so TopK and SweepTheta are safe to
+// call from multiple goroutines concurrently (each call computes an
+// independent answer). The index must not be mutated (Insert) while queries
+// are in flight.
 type Session struct {
 	ix *Index
 	// grid lists the thresholds the session's π̂-vectors are computed at:
@@ -199,7 +208,9 @@ type Session struct {
 	// batchUpdates enables the Theorems 6–8 style credit propagation; on by
 	// default, disabled only for ablation measurements.
 	batchUpdates bool
-	// stats
+	// statsMu guards lastStats; every other Session field is immutable after
+	// initialization, which is what makes concurrent TopK calls safe.
+	statsMu   sync.Mutex
 	lastStats QueryStats
 }
 
@@ -301,8 +312,14 @@ func (ix *Index) newSession(q core.Relevance, grid []float64) *Session {
 // RelevantCount returns |L_q| for the session.
 func (s *Session) RelevantCount() int { return len(s.rel) }
 
-// LastStats returns statistics from the most recent TopK call.
-func (s *Session) LastStats() QueryStats { return s.lastStats }
+// LastStats returns statistics from the most recently completed TopK call.
+// With concurrent TopK calls in flight, "most recent" means whichever call
+// finished last.
+func (s *Session) LastStats() QueryStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastStats
+}
 
 // PiHatBytes reports the memory consumed by the π̂-vectors (the query-time
 // component of the footprint reported in Fig. 6(l)).
@@ -328,8 +345,18 @@ func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
 	ix := s.ix
 	nodes := ix.tree.Nodes()
 	res := &core.Result{Relevant: len(s.rel)}
-	s.lastStats = QueryStats{}
+	// Work stats accumulate in a local so concurrent TopK calls never share
+	// mutable state; the final store publishes them for LastStats and folds
+	// them into the index's telemetry aggregates.
+	var st QueryStats
+	finish := func() {
+		s.statsMu.Lock()
+		s.lastStats = st
+		s.statsMu.Unlock()
+		ix.tel.Load().observe(st)
+	}
 	if len(s.rel) == 0 {
+		finish()
 		return res, nil
 	}
 
@@ -422,7 +449,7 @@ func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
 		}
 		for pq.Len() > 0 {
 			e := heap.Pop(pq).(*entry)
-			s.lastStats.PQPops++
+			st.PQPops++
 			// The heap is ordered by bound, so once the best remaining bound
 			// drops below the verified best gain the pick is settled. Bounds
 			// equal to the best gain are still explored so that ties resolve
@@ -443,7 +470,7 @@ func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
 				if p < 0 || inAnswer[p] {
 					continue
 				}
-				gain, nbrs := s.verify(e.node.Centroid, theta, includeUncovered)
+				gain, nbrs := s.verify(e.node.Centroid, theta, includeUncovered, &st)
 				if gain > bestGain || (gain == bestGain && gain > 0 && e.node.Centroid < best) {
 					best, bestGain, bestNbrs = e.node.Centroid, gain, nbrs
 				}
@@ -471,20 +498,22 @@ func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
 	}
 	res.Covered = covered.Count()
 	res.Power = float64(res.Covered) / float64(res.Relevant)
+	finish()
 	return res, nil
 }
 
 // verify computes the exact marginal gain of graph g at threshold theta:
 // vantage candidates restricted to uncovered relevant graphs, then exact
 // distances only for those (Alg. 2 lines 8–11). It returns the gain and the
-// relevant positions that would become covered.
-func (s *Session) verify(g graph.ID, theta float64, include func(graph.ID) bool) (int32, []int) {
-	s.lastStats.VerifiedLeaves++
+// relevant positions that would become covered. Work is tallied into st,
+// the calling TopK's local stats.
+func (s *Session) verify(g graph.ID, theta float64, include func(graph.ID) bool, st *QueryStats) (int32, []int) {
+	st.VerifiedLeaves++
 	var nbrs []int
 	for _, id := range s.ix.vo.Candidates(g, theta, include) {
-		s.lastStats.CandidateScans++
+		st.CandidateScans++
 		if id != g {
-			s.lastStats.ExactDistances++
+			st.ExactDistances++
 			if s.ix.m.Distance(g, id) > theta {
 				continue
 			}

@@ -6,50 +6,175 @@
 //	POST /query                  top-k representative query
 //	POST /sweep                  θ sweep ("zoom level" explorer)
 //	GET  /graph?id=N             one graph (labels, edges, features)
+//	POST /insert                 append one graph, extend the index
+//	GET  /metrics                Prometheus text exposition of all metrics
+//	GET  /debug/pprof/...        runtime profiles (with Options.Pprof)
 //
 // Relevance functions arrive as declarative specs (quartile / threshold /
 // topics / weighted) rather than code, mirroring the query functions of
 // Table 1.
+//
+// # Concurrency
+//
+// Queries run in parallel: sessions are safe for concurrent TopK calls, so
+// the server takes only a read lock on the query path. /insert is the sole
+// writer — it mutates the database and index, which no index structure
+// tolerates concurrently with reads — so it takes the write lock, excluding
+// every other endpoint for the (short) duration of one incremental insert.
+//
+// # Observability
+//
+// Every request is counted and timed per endpoint, and an in-flight gauge
+// tracks concurrency. The HTTP metrics register on the engine's telemetry
+// registry, so GET /metrics exposes the full process picture — HTTP traffic,
+// distance computations, cache effectiveness, and the NB-Index's per-query
+// work histograms — in one scrape.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"graphrep"
+	"graphrep/internal/telemetry"
 )
+
+// Options configure optional server features.
+type Options struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
 
 // Server serves one engine. Sessions are cached per relevance spec so that
 // repeated queries (the interactive refinement pattern) hit the fast path.
+// Create at most one Server per engine: the HTTP metrics register on the
+// engine's telemetry registry under fixed names.
 type Server struct {
 	engine *graphrep.Engine
 	db     *graphrep.Database
+	opts   Options
 
-	mu       sync.Mutex
-	sessions map[string]*graphrep.Session
+	// mu is the engine-state lock: /insert mutates the database and index
+	// and holds it exclusively; every other endpoint reads under RLock.
+	mu sync.RWMutex
+
+	// sessMu guards the session cache. Lock order: mu before sessMu.
+	sessMu   sync.Mutex
+	sessions map[string]*sessionEntry
+
+	requests *telemetry.CounterVec   // http_requests_total{endpoint}
+	errors   *telemetry.CounterVec   // http_errors_total{endpoint}
+	latency  *telemetry.HistogramVec // http_request_duration_seconds{endpoint}
+	inFlight *telemetry.Gauge        // http_in_flight_requests
 }
 
+// sessionEntry initializes its session exactly once, so concurrent first
+// requests for one relevance spec share a single initialization instead of
+// racing to duplicate it.
+type sessionEntry struct {
+	once sync.Once
+	sess *graphrep.Session
+	err  error
+}
+
+// latencyBuckets spans sub-millisecond cache hits to multi-second sweeps.
+var latencyBuckets = telemetry.ExponentialBuckets(0.0005, 2, 14) // 0.5ms … 4s
+
 // New wraps an engine.
-func New(engine *graphrep.Engine) *Server {
+func New(engine *graphrep.Engine, opts ...Options) *Server {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	reg := engine.Telemetry().Registry()
 	return &Server{
 		engine:   engine,
 		db:       engine.Database(),
-		sessions: make(map[string]*graphrep.Session),
+		opts:     o,
+		sessions: make(map[string]*sessionEntry),
+		requests: reg.MustCounterVec("http_requests_total",
+			"HTTP requests received, by endpoint.", "endpoint"),
+		errors: reg.MustCounterVec("http_errors_total",
+			"HTTP responses with a 4xx/5xx status, by endpoint.", "endpoint"),
+		latency: reg.MustHistogramVec("http_request_duration_seconds",
+			"HTTP request latency in seconds, by endpoint.", "endpoint", latencyBuckets),
+		inFlight: reg.MustGauge("http_in_flight_requests",
+			"Requests currently being served."),
 	}
 }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/sweep", s.handleSweep)
-	mux.HandleFunc("/graph", s.handleGraph)
-	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("/sweep", s.instrument("/sweep", s.handleSweep))
+	mux.HandleFunc("/graph", s.instrument("/graph", s.handleGraph))
+	mux.HandleFunc("/insert", s.instrument("/insert", s.handleInsert))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	if s.opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// statusRecorder captures the response status for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request middleware: per-endpoint
+// request count, error count, and latency histogram, plus the process-wide
+// in-flight gauge.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.requests.With(endpoint)
+	errors := s.errors.With(endpoint)
+	latency := s.latency.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inFlight.Inc()
+		defer s.inFlight.Dec()
+		requests.Inc()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		latency.Observe(time.Since(start).Seconds())
+		if rec.status >= 400 {
+			errors.Inc()
+		}
+	}
+}
+
+// handleMetrics renders the engine's full registry — HTTP, distance-layer,
+// and NB-Index metrics — in the Prometheus text exposition format. The read
+// lock keeps the scrape consistent with respect to /insert (the database and
+// index gauges read mutable state).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.engine.Telemetry().WritePrometheus(w); err != nil {
+		// Response already started; nothing to repair mid-stream.
+		_ = err
+	}
 }
 
 // InsertRequest is the /insert payload: one graph in the same shape /graph
@@ -70,6 +195,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	// The engine's Insert mutates the database, vantage orderings, and
+	// NB-Tree, none of which tolerate concurrent readers — take the write
+	// lock, excluding all queries for the duration of the insert.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := graphrep.ID(s.db.Len())
@@ -92,7 +220,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	// Cached sessions predate the insert and would silently miss the new
 	// graph; drop them so the next query re-initializes.
-	s.sessions = make(map[string]*graphrep.Session)
+	s.sessMu.Lock()
+	s.sessions = make(map[string]*sessionEntry)
+	s.sessMu.Unlock()
 	writeJSON(w, InsertResponse{ID: int32(id)})
 }
 
@@ -130,26 +260,30 @@ func (s *Server) compile(spec RelevanceSpec) (graphrep.Relevance, error) {
 }
 
 // session returns a cached session for the spec, creating it on first use.
+// The caller must hold s.mu.RLock (session initialization reads the index).
+// Concurrent first requests for one spec share a single initialization via
+// the entry's once; requests for other specs are never blocked by it.
 func (s *Server) session(spec RelevanceSpec) (*graphrep.Session, error) {
 	key, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sess, ok := s.sessions[string(key)]; ok {
-		return sess, nil
+	s.sessMu.Lock()
+	e, ok := s.sessions[string(key)]
+	if !ok {
+		e = &sessionEntry{}
+		s.sessions[string(key)] = e
 	}
-	rel, err := s.compile(spec)
-	if err != nil {
-		return nil, err
-	}
-	sess, err := s.engine.NewSession(rel)
-	if err != nil {
-		return nil, err
-	}
-	s.sessions[string(key)] = sess
-	return sess, nil
+	s.sessMu.Unlock()
+	e.once.Do(func() {
+		rel, err := s.compile(spec)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.sess, e.err = s.engine.NewSession(rel)
+	})
+	return e.sess, e.err
 }
 
 // QueryRequest is the /query and /sweep payload.
@@ -178,15 +312,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "theta must be ≥ 0 and k ≥ 1")
 		return
 	}
+	// Sessions are safe for concurrent TopK calls; the read lock only
+	// excludes /insert, so queries run in parallel.
+	s.mu.RLock()
 	sess, err := s.session(req.Relevance)
 	if err != nil {
+		s.mu.RUnlock()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// Sessions are not safe for concurrent TopK calls; serialize.
-	s.mu.Lock()
 	res, err := sess.TopK(req.Theta, req.K)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -219,14 +355,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be ≥ 1")
 		return
 	}
+	s.mu.RLock()
 	sess, err := s.session(req.Relevance)
 	if err != nil {
+		s.mu.RUnlock()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
 	points, err := sess.SweepTheta(req.K)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -254,6 +391,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	// Stats walks the database and index; exclude /insert while reading.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := s.db.Stats()
 	writeJSON(w, StatsResponse{
 		Graphs:     st.Graphs,
@@ -278,6 +418,8 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
 	if err != nil || id < 0 || id >= s.db.Len() {
 		httpError(w, http.StatusNotFound, "unknown graph id")

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"graphrep"
@@ -230,6 +232,108 @@ func TestInsertEndpoint(t *testing.T) {
 	bad := InsertRequest{Labels: []uint32{1}, Edges: [][3]int{{0, 5, 0}}}
 	if r := postJSON(t, ts.URL+"/insert", bad, nil); r.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed insert: status %d", r.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	// Generate some traffic first so the per-endpoint counters exist.
+	var qr QueryResponse
+	postJSON(t, ts.URL+"/query", QueryRequest{
+		Relevance: RelevanceSpec{Kind: "quartile"}, Theta: 10, K: 5,
+	}, &qr)
+	postJSON(t, ts.URL+"/query", QueryRequest{
+		Relevance: RelevanceSpec{Kind: "nope"}, Theta: 10, K: 5,
+	}, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	// The acceptance surface: distance computations, cache hits/misses,
+	// per-endpoint request counts and latency histograms, NB-Index pruning
+	// counters, and the HTTP gauges.
+	for _, want := range []string{
+		"graphrep_distance_computations_total",
+		"graphrep_distance_cache_hits_total",
+		"graphrep_distance_cache_misses_total",
+		`http_requests_total{endpoint="/query"} 2`,
+		`http_errors_total{endpoint="/query"} 1`,
+		`http_request_duration_seconds_count{endpoint="/query"} 2`,
+		`http_request_duration_seconds_bucket{endpoint="/query",le="+Inf"} 2`,
+		"http_in_flight_requests 1", // the /metrics request itself
+		"nbindex_queries_total 1",
+		"nbindex_pq_pops_bucket",
+		"nbindex_verified_leaves_count 1",
+		"nbindex_candidate_scans_count 1",
+		"nbindex_exact_distances_count 1",
+		"graphrep_graphs 120",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Valid text format: every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+	// POST is rejected.
+	if r := postJSON(t, ts.URL+"/metrics", map[string]int{}, nil); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d", r.StatusCode)
+	}
+}
+
+func TestPprofOption(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := httptest.NewServer(New(engine, Options{Pprof: true}).Handler())
+	defer with.Close()
+	resp, err := http.Get(with.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof enabled: status %d", resp.StatusCode)
+	}
+
+	engine2, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := httptest.NewServer(New(engine2).Handler())
+	defer without.Close()
+	resp, err = http.Get(without.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: status %d, want 404", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrDuplicate is returned (wrapped) when a metric name is registered twice.
+var ErrDuplicate = errors.New("duplicate metric name")
+
+// Registry collects named instruments and renders them in the Prometheus
+// text exposition format. Metric names follow the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) and must be unique per registry.
+type Registry struct {
+	mu      sync.RWMutex
+	names   map[string]bool
+	entries []entry // in registration order; sorted at export
+}
+
+// entry is one registered metric family.
+type entry struct {
+	name, help string
+	kind       string                  // "counter", "gauge", "histogram"
+	write      func(w io.Writer) error // body lines (no HELP/TYPE)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]bool{}}
+}
+
+func (r *Registry) register(name, help, kind string, write func(io.Writer) error) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		return fmt.Errorf("telemetry: %w: %q", ErrDuplicate, name)
+	}
+	r.names[name] = true
+	r.entries = append(r.entries, entry{name: name, help: help, kind: kind, write: write})
+	return nil
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) (*Counter, error) {
+	c := &Counter{}
+	err := r.register(name, help, "counter", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for components that already keep their own atomic
+// counts (metric.Counter, metric.Cache).
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) error {
+	return r.register(name, help, "counter", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, fn())
+		return err
+	})
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) (*Gauge, error) {
+	g := &Gauge{}
+	err := r.register(name, help, "gauge", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, g.Value())
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) error {
+	return r.register(name, help, "gauge", func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(fn()))
+		return err
+	})
+}
+
+// NewHistogram registers and returns a histogram with the given ascending
+// bucket upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) (*Histogram, error) {
+	h, err := newHistogram(bounds)
+	if err != nil {
+		return nil, err
+	}
+	err = r.register(name, help, "histogram", func(w io.Writer) error {
+		return writeHistogram(w, name, "", "", h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// NewCounterVec registers and returns a counter family keyed by one label.
+func (r *Registry) NewCounterVec(name, help, label string) (*CounterVec, error) {
+	if err := checkName(label); err != nil {
+		return nil, err
+	}
+	v := &CounterVec{label: label, children: map[string]*Counter{}}
+	err := r.register(name, help, "counter", func(w io.Writer) error {
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		for _, val := range sortedKeys(v.children) {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, val, v.children[val].Value()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// NewHistogramVec registers and returns a histogram family keyed by one
+// label, all children sharing the bucket bounds.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) (*HistogramVec, error) {
+	if err := checkName(label); err != nil {
+		return nil, err
+	}
+	if _, err := newHistogram(bounds); err != nil { // validate once up front
+		return nil, err
+	}
+	v := &HistogramVec{label: label, bounds: append([]float64(nil), bounds...), children: map[string]*Histogram{}}
+	err := r.register(name, help, "histogram", func(w io.Writer) error {
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		for _, val := range sortedKeys(v.children) {
+			if err := writeHistogram(w, name, label, val, v.children[val]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustCounter is NewCounter, panicking on error. Use for statically named
+// metrics registered once at startup.
+func (r *Registry) MustCounter(name, help string) *Counter {
+	c, err := r.NewCounter(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustGauge is NewGauge, panicking on error.
+func (r *Registry) MustGauge(name, help string) *Gauge {
+	g, err := r.NewGauge(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MustHistogram is NewHistogram, panicking on error.
+func (r *Registry) MustHistogram(name, help string, bounds []float64) *Histogram {
+	h, err := r.NewHistogram(name, help, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// MustCounterVec is NewCounterVec, panicking on error.
+func (r *Registry) MustCounterVec(name, help, label string) *CounterVec {
+	v, err := r.NewCounterVec(name, help, label)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustHistogramVec is NewHistogramVec, panicking on error.
+func (r *Registry) MustHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v, err := r.NewHistogramVec(name, help, label, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name for
+// deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	entries := make([]entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, escapeHelp(e.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+			return err
+		}
+		if err := e.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the _bucket/_sum/_count lines of one histogram,
+// optionally tagged with label=value.
+func writeHistogram(w io.Writer, name, label, value string, h *Histogram) error {
+	cum := h.Cumulative()
+	tag := func(le string) string {
+		if label == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s=%q,le=%q}", label, value, le)
+	}
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf("{%s=%q}", label, value)
+	}
+	for i, b := range h.Bounds() {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, tag(formatFloat(b)), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, tag("+Inf"), cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

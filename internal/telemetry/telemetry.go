@@ -1,0 +1,219 @@
+// Package telemetry provides the process-wide observability primitives the
+// engine and server report through: atomic counters, gauges, and fixed-bucket
+// histograms, collected in a Registry that renders the Prometheus text
+// exposition format. It has no dependencies outside the standard library —
+// the whole package is a few hundred lines of lock-free instruments plus a
+// small exporter — so every layer of the engine can depend on it freely.
+//
+// All instruments are safe for concurrent use; updates are single atomic
+// operations, so instrumenting a hot path costs nanoseconds. Reads (Value,
+// Snapshot, WritePrometheus) may observe a histogram mid-update — the bucket
+// counts, sum, and count are each individually atomic but not snapshot
+// together — which is the standard tradeoff every lock-free metrics library
+// makes; scrapes see values at most one observation stale.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative; negative deltas are ignored so the
+// counter stays monotone.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move in both directions (e.g.
+// in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations ≤ bounds[i]; one extra implicit +Inf bucket catches the rest.
+// Observe is a handful of atomic operations and is safe for concurrent use.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			return nil, fmt.Errorf("telemetry: histogram bounds not strictly ascending at %d (%v, %v)",
+				i, bounds[i-1], bounds[i])
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], 1) {
+		bounds = bounds[:len(bounds)-1] // +Inf is implicit
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (tens); linear scan beats binary search at this size
+	// and keeps the hot path branch-predictable.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Cumulative returns the cumulative bucket counts in Prometheus convention:
+// entry i is the number of observations ≤ bounds[i], and the final entry
+// (the +Inf bucket) equals Count().
+func (h *Histogram) Cumulative() []int64 {
+	out := make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds: start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// ExponentialBuckets returns n bounds: start, start·factor, start·factor², ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// CounterVec is a family of Counters keyed by one label value (e.g. one
+// counter per HTTP endpoint). Children are created on first use and live for
+// the registry's lifetime, so label values must be low-cardinality.
+type CounterVec struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it on first
+// use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.children[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[value] = c
+	return c
+}
+
+// HistogramVec is a family of Histograms keyed by one label value, sharing
+// one set of bucket bounds.
+type HistogramVec struct {
+	label    string
+	bounds   []float64
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.children[value]; ok {
+		return h
+	}
+	h, _ = newHistogram(v.bounds) // bounds were validated at vec creation
+	v.children[value] = h
+	return h
+}
+
+// sortedKeys returns a map's keys in deterministic (sorted) order, for
+// stable exposition output.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

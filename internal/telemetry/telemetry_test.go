@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.MustGauge("g", "help")
+	g.Inc()
+	g.Add(10)
+	g.Dec()
+	if got := g.Value(); got != 10 {
+		t.Errorf("gauge = %d, want 10", got)
+	}
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Errorf("gauge = %d, want -2", got)
+	}
+}
+
+func TestRegistryDuplicateNames(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewCounter("dup", ""); err != nil {
+		t.Fatal(err)
+	}
+	// A second registration under the same name fails regardless of kind.
+	if _, err := r.NewCounter("dup", ""); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("counter dup: err = %v, want ErrDuplicate", err)
+	}
+	if _, err := r.NewGauge("dup", ""); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("gauge dup: err = %v, want ErrDuplicate", err)
+	}
+	if _, err := r.NewHistogram("dup", "", []float64{1}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("histogram dup: err = %v, want ErrDuplicate", err)
+	}
+	if err := r.NewCounterFunc("dup", "", func() int64 { return 0 }); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("counterfunc dup: err = %v, want ErrDuplicate", err)
+	}
+	// Distinct names still register fine afterwards.
+	if _, err := r.NewCounter("dup2", ""); err != nil {
+		t.Errorf("dup2: %v", err)
+	}
+}
+
+func TestRegistryInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has space", "dash-ed", "ünïcode"} {
+		if _, err := r.NewCounter(bad, ""); err == nil {
+			t.Errorf("name %q accepted, want error", bad)
+		}
+	}
+	for _, good := range []string{"a", "_x", "ns:sub_total", "Counter9"} {
+		if _, err := r.NewCounter(good, ""); err != nil {
+			t.Errorf("name %q rejected: %v", good, err)
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("h", "", []float64{1, 2, 4})
+	// Prometheus buckets are ≤-inclusive: a value exactly on a bound lands
+	// in that bound's bucket.
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4, 4.5, 100} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	want := []int64{2, 4, 5, 7} // ≤1: {0.5,1}; ≤2: +{1.0000001,2}; ≤4: +{4}; +Inf: +{4.5,100}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.0000001+2+4+4.5+100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewHistogram("bad1", "", nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := r.NewHistogram("bad2", "", []float64{1, 1}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := r.NewHistogram("bad3", "", []float64{2, 1}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+	// A trailing +Inf is tolerated (collapsed into the implicit bucket).
+	h, err := r.NewHistogram("okinf", "", []float64{1, math.Inf(1)})
+	if err != nil {
+		t.Fatalf("trailing +Inf rejected: %v", err)
+	}
+	if got := len(h.Bounds()); got != 1 {
+		t.Errorf("bounds = %d, want 1", got)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Errorf("linear = %v", lin)
+	}
+	exp := ExponentialBuckets(1, 4, 4)
+	if exp[0] != 1 || exp[1] != 4 || exp[2] != 16 || exp[3] != 64 {
+		t.Errorf("exponential = %v", exp)
+	}
+}
+
+// Concurrent increments must neither race (checked by -race) nor lose
+// updates.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("c_total", "")
+	g := r.MustGauge("g", "")
+	h := r.MustHistogram("h", "", ExponentialBuckets(1, 2, 8))
+	vec := r.MustCounterVec("v_total", "", "worker")
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w%2))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i % 300))
+				vec.With(lbl).Inc()
+			}
+		}(w)
+	}
+	// Concurrent scrapes must be safe too.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Errorf("gauge = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	wantSum := float64(workers) * float64(iters/300*((299*300)/2)+(iters%300-1)*(iters%300)/2)
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if got := vec.With("a").Value() + vec.With("b").Value(); got != workers*iters {
+		t.Errorf("vec total = %d, want %d", got, workers*iters)
+	}
+}
+
+// Golden test: the full exposition output of a small registry, byte for
+// byte. Families are sorted by name; vec children by label value.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("app_ops_total", "Operations completed.")
+	c.Add(42)
+	g := r.MustGauge("app_inflight", "In-flight requests.")
+	g.Set(3)
+	h := r.MustHistogram("app_latency_seconds", "Request latency.", []float64{0.25, 0.5})
+	h.Observe(0.1)
+	h.Observe(0.5)
+	h.Observe(2)
+	v := r.MustCounterVec("app_requests_total", "Requests by endpoint.", "endpoint")
+	v.With("/query").Add(7)
+	v.With("/insert").Inc()
+	if err := r.NewGaugeFunc("app_ratio", "A computed ratio.", func() float64 { return 0.75 }); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_inflight In-flight requests.
+# TYPE app_inflight gauge
+app_inflight 3
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.25"} 1
+app_latency_seconds_bucket{le="0.5"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 2.6
+app_latency_seconds_count 3
+# HELP app_ops_total Operations completed.
+# TYPE app_ops_total counter
+app_ops_total 42
+# HELP app_ratio A computed ratio.
+# TYPE app_ratio gauge
+app_ratio 0.75
+# HELP app_requests_total Requests by endpoint.
+# TYPE app_requests_total counter
+app_requests_total{endpoint="/insert"} 1
+app_requests_total{endpoint="/query"} 7
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.MustHistogramVec("lat", "", "ep", []float64{1})
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`lat_bucket{ep="/a",le="1"} 1`,
+		`lat_bucket{ep="/a",le="+Inf"} 2`,
+		`lat_sum{ep="/a"} 3.5`,
+		`lat_count{ep="/a"} 2`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing line %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("esc_total", "line1\nline2 with \\ backslash")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `# HELP esc_total line1\nline2 with \\ backslash`; !strings.Contains(sb.String(), want) {
+		t.Errorf("help not escaped:\n%s", sb.String())
+	}
+}
