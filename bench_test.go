@@ -5,8 +5,10 @@
 package graphrep_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"graphrep"
@@ -77,6 +79,30 @@ func BenchmarkOpenEngine(b *testing.B) {
 		if _, err := graphrep.Open(db, graphrep.Options{Seed: 2}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuild measures index construction at several worker counts on the
+// medium synthetic dataset; the output is byte-identical at every count, so
+// the subbenchmarks differ only in wall time.
+func BenchmarkBuild(b *testing.B) {
+	db, err := graphrep.GenerateDataset("dud", 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > counts[len(counts)-1] {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graphrep.Open(db, graphrep.Options{Seed: 2, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -38,6 +38,8 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		pprofOn  = flag.Bool("pprof", false, "mount runtime profiles under /debug/pprof/")
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
+		workers  = flag.Int("workers", 0, "worker goroutines for index construction and session init (0 = GOMAXPROCS; results are identical for any value)")
+		queryTO  = flag.Duration("query-timeout", 0, "per-request deadline for /query and /sweep (0 = none; expired queries answer 504)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := openEngine(db, *index, *seed)
+	engine, err := openEngine(db, *index, *seed, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	log.Printf("serving %d graphs (avg |V|=%.1f) on %s", st.Graphs, st.AvgNodes, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine, server.Options{Pprof: *pprofOn}).Handler(),
+		Handler:           server.New(engine, server.Options{Pprof: *pprofOn, QueryTimeout: *queryTO}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -90,12 +92,12 @@ func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, err
 }
 
 // openEngine loads a persisted index when available, otherwise builds one
-// and persists it to indexPath (when given).
-func openEngine(db *graphrep.Database, indexPath string, seed int64) (*graphrep.Engine, error) {
+// (on up to workers goroutines) and persists it to indexPath (when given).
+func openEngine(db *graphrep.Database, indexPath string, seed int64, workers int) (*graphrep.Engine, error) {
 	if indexPath != "" {
 		if f, err := os.Open(indexPath); err == nil {
 			defer f.Close()
-			engine, err := graphrep.OpenWithIndex(db, f)
+			engine, err := graphrep.OpenWithIndex(db, f, graphrep.Options{Workers: workers})
 			if err == nil {
 				log.Printf("loaded index from %s", indexPath)
 				return engine, nil
@@ -104,7 +106,7 @@ func openEngine(db *graphrep.Database, indexPath string, seed int64) (*graphrep.
 		}
 	}
 	start := time.Now()
-	engine, err := graphrep.Open(db, graphrep.Options{Seed: seed})
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

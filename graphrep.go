@@ -35,9 +35,11 @@
 package graphrep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"graphrep/internal/core"
 	"graphrep/internal/dataset"
@@ -45,6 +47,7 @@ import (
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
 	"graphrep/internal/nbindex"
+	"graphrep/internal/pool"
 	"graphrep/internal/telemetry"
 )
 
@@ -127,6 +130,14 @@ type Options struct {
 	// expensive metrics in a memoizing layer if repeated queries matter;
 	// the default metric is cached automatically.
 	Metric Metric
+	// Workers bounds the goroutines used for index construction (the θ-grid
+	// sampling, the vantage distance matrix, the NB-Tree partition fills)
+	// and session initialization; ≤ 0 means GOMAXPROCS. The index bytes and
+	// every answer are identical for any value — all randomized decisions
+	// stay single-threaded and parallel work is pre-partitioned — so Workers
+	// trades nothing but wall time. Custom metrics must be safe for
+	// concurrent use (the built-in ones are).
+	Workers int
 }
 
 // Engine answers top-k representative queries over one database through an
@@ -140,8 +151,20 @@ type Engine struct {
 	tel *Telemetry
 }
 
-// Open indexes db and returns a query engine.
+// Open indexes db and returns a query engine. It is OpenContext with no
+// cancellation.
 func Open(db *Database, opts ...Options) (*Engine, error) {
+	return OpenContext(context.Background(), db, opts...)
+}
+
+// OpenContext indexes db and returns a query engine, observing ctx
+// throughout construction: the θ-grid sampling, the vantage matrix fill,
+// and the NB-Tree clustering all check cancellation at phase boundaries and
+// per work batch, so a cancelled or expired context makes OpenContext
+// return ctx.Err() promptly with no engine. Construction parallelism is
+// bounded by Options.Workers; the resulting index is byte-identical for any
+// worker count.
+func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, error) {
 	if db == nil || db.Len() == 0 {
 		return nil, fmt.Errorf("graphrep: empty database")
 	}
@@ -160,17 +183,22 @@ func Open(db *Database, opts ...Options) (*Engine, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
+	gridStart := time.Now()
 	grid := o.ThetaGrid
 	if grid == nil {
 		samples := db.Len() * 8
 		if samples > 20000 {
 			samples = 20000
 		}
-		grid = nbindex.ChooseGrid(db, m, 10, samples, rng)
+		grid, err = nbindex.ChooseGridContext(ctx, db, m, 10, samples, o.Workers, rng)
+		if err != nil {
+			return nil, err
+		}
 		if len(grid) == 0 {
 			grid = []float64{1}
 		}
 	}
+	gridTime := time.Since(gridStart)
 	numVPs := o.NumVPs
 	if numVPs <= 0 {
 		numVPs = 4
@@ -188,15 +216,16 @@ func Open(db *Database, opts ...Options) (*Engine, error) {
 	if branching == 0 {
 		branching = 4
 	}
-	ix, err := nbindex.Build(db, m, nbindex.Options{
+	ix, err := nbindex.BuildContext(ctx, db, m, nbindex.Options{
 		NumVPs:    numVPs,
 		Branching: branching,
 		ThetaGrid: grid,
+		Workers:   o.Workers,
 	}, rng)
 	if err != nil {
 		return nil, err
 	}
-	tel, err := newEngineTelemetry(db, ix, counter, cache)
+	tel, err := newEngineTelemetry(db, ix, counter, cache, gridTime, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +271,10 @@ func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	tel, err := newEngineTelemetry(db, ix, counter, cache)
+	// No construction happened, but session initialization still fans out;
+	// honor the Workers option for it. Build-phase gauges read as zero.
+	ix.SetWorkers(o.Workers)
+	tel, err := newEngineTelemetry(db, ix, counter, cache, 0, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -258,8 +290,10 @@ func (e *Engine) SaveIndex(w io.Writer) error { return e.ix.Encode(w) }
 // rebuild. The graph's ID must equal Database().Len(). Cluster bounds
 // loosen slightly as inserts accumulate (answers stay exact; queries slow
 // gradually), so rebuild with Open after heavy insert volume. Not safe
-// concurrently with queries; sessions created before an Insert do not see
-// the new graph.
+// concurrently with queries — the caller must exclude in-flight queries
+// externally; internal/server is the worked example, holding a
+// sync.RWMutex write lock around Insert while every query path reads under
+// RLock. Sessions created before an Insert do not see the new graph.
 func (e *Engine) Insert(g *Graph) error {
 	if err := e.db.Append(g); err != nil {
 		return err
@@ -290,8 +324,10 @@ type Telemetry struct {
 
 // newEngineTelemetry builds the engine's metric registry: distance-layer
 // counters bridged from metric.Counter/metric.Cache, database and index
-// gauges, and the nbindex per-query work histograms.
-func newEngineTelemetry(db *Database, ix *nbindex.Index, counter *metric.Counter, cache *metric.Cache) (*Telemetry, error) {
+// gauges, build-phase wall times, and the nbindex per-query work
+// histograms. gridTime is the θ-grid sampling phase (measured by Open,
+// which runs it before Build); workers is the configured Options.Workers.
+func newEngineTelemetry(db *Database, ix *nbindex.Index, counter *metric.Counter, cache *metric.Cache, gridTime time.Duration, workers int) (*Telemetry, error) {
 	reg := telemetry.NewRegistry()
 	t := &Telemetry{reg: reg, counter: counter, cache: cache}
 	if err := reg.NewCounterFunc("graphrep_distance_computations_total",
@@ -322,6 +358,29 @@ func newEngineTelemetry(db *Database, ix *nbindex.Index, counter *metric.Counter
 	if err := reg.NewGaugeFunc("graphrep_index_bytes",
 		"Approximate NB-Index memory footprint.",
 		func() float64 { return float64(ix.Bytes()) }); err != nil {
+		return nil, err
+	}
+	// Build-phase wall times: fixed after Open, so the closures capture the
+	// computed values. All zero when the index was loaded from disk.
+	timing := ix.Timing()
+	for _, phase := range []struct {
+		name, help string
+		d          time.Duration
+	}{
+		{"graphrep_build_grid_seconds", "Wall time of the θ-grid distance sampling phase.", gridTime},
+		{"graphrep_build_vpselect_seconds", "Wall time of the vantage point selection phase.", timing.VPSelect},
+		{"graphrep_build_vantage_seconds", "Wall time of the vantage distance-matrix phase.", timing.Vantage},
+		{"graphrep_build_tree_seconds", "Wall time of the NB-Tree clustering phase.", timing.Tree},
+		{"graphrep_build_total_seconds", "Wall time of index construction (grid sampling plus NB-Index build).", gridTime + timing.Total},
+	} {
+		secs := phase.d.Seconds()
+		if err := reg.NewGaugeFunc(phase.name, phase.help, func() float64 { return secs }); err != nil {
+			return nil, err
+		}
+	}
+	if err := reg.NewGaugeFunc("graphrep_build_workers",
+		"Worker goroutines the build and session-initialization pools are bounded by.",
+		func() float64 { return float64(pool.Resolve(workers)) }); err != nil {
 		return nil, err
 	}
 	nb, err := nbindex.NewTelemetry(reg)
@@ -417,10 +476,21 @@ func (e *Engine) IndexBytes() int64 { return e.ix.Bytes() }
 // TopKRepresentative answers q through the NB-Index. For repeated queries
 // with the same relevance function, use NewSession instead.
 func (e *Engine) TopKRepresentative(q Query) (*Result, error) {
+	return e.TopKRepresentativeContext(context.Background(), q)
+}
+
+// TopKRepresentativeContext is TopKRepresentative with cancellation: both
+// the session initialization and the search observe ctx and return
+// ctx.Err() promptly once it is cancelled or its deadline passes.
+func (e *Engine) TopKRepresentativeContext(ctx context.Context, q Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	return e.ix.NewSession(q.Relevance).TopK(q.Theta, q.K)
+	s, err := e.ix.NewSessionContext(ctx, q.Relevance)
+	if err != nil {
+		return nil, err
+	}
+	return s.TopKContext(ctx, q.Theta, q.K)
 }
 
 // TopKRepresentativeExact answers q with the simple quadratic greedy
@@ -480,15 +550,36 @@ type Session struct {
 
 // NewSession prepares a session for the relevance function.
 func (e *Engine) NewSession(rel Relevance) (*Session, error) {
+	return e.NewSessionContext(context.Background(), rel)
+}
+
+// NewSessionContext is NewSession with cancellation: initialization (one
+// vantage scan per relevant graph, run on the engine's worker pool) checks
+// ctx between batches and returns ctx.Err() when it fires.
+func (e *Engine) NewSessionContext(ctx context.Context, rel Relevance) (*Session, error) {
 	if rel == nil {
 		return nil, fmt.Errorf("graphrep: nil relevance function")
 	}
-	return &Session{s: e.ix.NewSession(rel)}, nil
+	s, err := e.ix.NewSessionContext(ctx, rel)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
 }
 
 // TopK answers a top-k representative query at threshold theta. It is safe
 // to call concurrently with other queries on the same or other sessions.
+// Arguments are validated (k must be ≥ 1, theta non-negative and not NaN)
+// so the session path rejects malformed queries just like
+// Engine.TopKRepresentative does.
 func (s *Session) TopK(theta float64, k int) (*Result, error) { return s.s.TopK(theta, k) }
+
+// TopKContext is TopK with cancellation: the search checks ctx at every
+// greedy pick and periodically inside the best-first loop, returning
+// ctx.Err() promptly after it fires.
+func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*Result, error) {
+	return s.s.TopKContext(ctx, theta, k)
+}
 
 // LastStats returns the work statistics of the most recently completed TopK
 // call on this session.
@@ -503,6 +594,13 @@ type ThetaPoint = nbindex.ThetaPoint
 // explorer of the paper's §7.
 func (s *Session) SweepTheta(k int, extra ...float64) ([]ThetaPoint, error) {
 	return s.s.SweepTheta(k, extra...)
+}
+
+// SweepThetaContext is SweepTheta with cancellation: ctx flows into every
+// per-threshold query, so an expired deadline aborts the sweep mid-curve
+// with ctx.Err().
+func (s *Session) SweepThetaContext(ctx context.Context, k int, extra ...float64) ([]ThetaPoint, error) {
+	return s.s.SweepThetaContext(ctx, k, extra...)
 }
 
 // SuggestTheta picks the knee of a sweep curve: the threshold past which a

@@ -104,20 +104,36 @@ func (c *Counter) Count() int64 { return c.n.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n.Store(0) }
 
+// cacheShards is the number of lock stripes in Cache. 64 keeps the chance
+// of two of GOMAXPROCS workers colliding on one stripe low while the
+// per-shard overhead (a mutex and a map header) stays negligible.
+const cacheShards = 64
+
 // Cache wraps a Metric with a thread-safe memo table keyed on unordered
 // pairs. Graph IDs are small ints, so the key packs both into one uint64.
-// Hit/miss totals are tracked atomically so observability layers can report
-// cache effectiveness without adding lock traffic to the hot path.
+// The table is striped across 64 independently locked shards selected by a
+// hash of the pair key, so concurrent build workers and parallel queries
+// hammer disjoint mutexes instead of serializing on one. Hit/miss totals
+// are tracked atomically so observability layers can report cache
+// effectiveness without adding lock traffic to the hot path.
 type Cache struct {
 	inner        Metric
 	hits, misses atomic.Int64
-	mu           sync.RWMutex
-	memo         map[uint64]float64
+	shards       [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu   sync.RWMutex
+	memo map[uint64]float64
 }
 
 // NewCache wraps m with an unbounded memo table.
 func NewCache(m Metric) *Cache {
-	return &Cache{inner: m, memo: make(map[uint64]float64)}
+	c := &Cache{inner: m}
+	for i := range c.shards {
+		c.shards[i].memo = make(map[uint64]float64)
+	}
+	return c
 }
 
 func pairKey(a, b graph.ID) uint64 {
@@ -125,6 +141,13 @@ func pairKey(a, b graph.ID) uint64 {
 		a, b = b, a
 	}
 	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// shard maps a pair key to its stripe. The Fibonacci multiplier mixes both
+// IDs into the top bits so consecutive pairs (the common scan pattern)
+// spread across stripes instead of clustering.
+func (c *Cache) shard(k uint64) *cacheShard {
+	return &c.shards[(k*0x9E3779B97F4A7C15)>>(64-6)] // 2^6 == cacheShards
 }
 
 // Distance implements Metric with memoization. Identity pairs (a == b) are
@@ -140,18 +163,19 @@ func (c *Cache) Distance(a, b graph.ID) float64 {
 		return 0
 	}
 	k := pairKey(a, b)
-	c.mu.RLock()
-	d, ok := c.memo[k]
-	c.mu.RUnlock()
+	sh := c.shard(k)
+	sh.mu.RLock()
+	d, ok := sh.memo[k]
+	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 		return d
 	}
 	c.misses.Add(1)
 	d = c.inner.Distance(a, b)
-	c.mu.Lock()
-	c.memo[k] = d
-	c.mu.Unlock()
+	sh.mu.Lock()
+	sh.memo[k] = d
+	sh.mu.Unlock()
 	return d
 }
 
@@ -163,29 +187,38 @@ func (c *Cache) Hits() int64 { return c.hits.Load() }
 // through this cache.
 func (c *Cache) Misses() int64 { return c.misses.Load() }
 
-// Size returns the number of memoized pairs. It takes the table's read lock,
-// so it runs concurrently with Distance lookups and only contends with the
-// brief write section of a miss; polling it from a metrics scraper is cheap.
+// Size returns the number of memoized pairs, summed shard by shard. Each
+// shard is read-locked briefly and in turn, so a scrape only ever contends
+// with the misses that store into the shard it is currently counting; under
+// concurrent load the sum is a point-in-time approximation (exact once
+// writes quiesce).
 func (c *Cache) Size() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.memo)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.memo)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Clear drops every memoized pair and resets the hit/miss totals. Benchmarks
 // call this between measured runs so one engine's distance computations
 // cannot subsidize another's.
 //
-// Clear takes the write lock, so it briefly stalls every concurrent Distance
-// call while the map pointer is swapped (the swap is O(1); the old table is
-// reclaimed by the GC). A Distance call whose computation is in flight when
-// Clear runs stores its result into the fresh table afterwards — values are
-// deterministic, so this is correct, but it means Size() may be nonzero
-// immediately after Clear returns under concurrent load.
+// Each shard's map pointer is swapped under its write lock (O(1); the old
+// tables are reclaimed by the GC). A Distance call whose computation is in
+// flight when Clear runs stores its result into the fresh table afterwards —
+// values are deterministic, so this is correct, but it means Size() may be
+// nonzero immediately after Clear returns under concurrent load.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	c.memo = make(map[uint64]float64)
-	c.mu.Unlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.memo = make(map[uint64]float64)
+		sh.mu.Unlock()
+	}
 	c.hits.Store(0)
 	c.misses.Store(0)
 }

@@ -33,18 +33,21 @@ package nbindex
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphrep/internal/bitset"
 	"graphrep/internal/core"
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
 	"graphrep/internal/nbtree"
+	"graphrep/internal/pool"
 	"graphrep/internal/vantage"
 )
 
@@ -59,6 +62,10 @@ type Options struct {
 	Branching int
 	// ThetaGrid lists the thresholds indexed in π̂-vectors, ascending (§7.1).
 	ThetaGrid []float64
+	// Workers bounds the goroutines used for construction and session
+	// initialization (≤ 0 means GOMAXPROCS). The index and every answer are
+	// identical for any value; only wall time changes.
+	Workers int
 }
 
 // DefaultOptions returns a memory-resident configuration.
@@ -76,13 +83,39 @@ type Index struct {
 	grid []float64
 	// leafOf maps a graph ID to its leaf node index in tree.Nodes().
 	leafOf []int
+	// workers bounds session-initialization goroutines; ≤ 0 means GOMAXPROCS.
+	workers int
+	// timing records the wall time of each construction phase.
+	timing BuildTiming
 	// tel, when set, aggregates QueryStats across every session's queries.
 	tel atomic.Pointer[Telemetry]
 }
 
-// Build constructs the NB-Index: vantage point selection, vantage orderings,
-// and the VP-accelerated NB-Tree.
+// BuildTiming reports the wall time of each construction phase, for the
+// build-phase telemetry gauges (the offline cost of Fig. 6(k), split by
+// stage).
+type BuildTiming struct {
+	// VPSelect covers vantage point selection (sequential; rng-driven).
+	VPSelect time.Duration
+	// Vantage covers the |V|×n vantage distance-matrix fill and sorted views.
+	Vantage time.Duration
+	// Tree covers the NB-Tree clustering.
+	Tree time.Duration
+	// Total is the whole Build call.
+	Total time.Duration
+}
+
+// Build constructs the NB-Index with no cancellation. See BuildContext.
 func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Index, error) {
+	return BuildContext(context.Background(), db, m, opt, rng)
+}
+
+// BuildContext constructs the NB-Index: vantage point selection, vantage
+// orderings, and the VP-accelerated NB-Tree. Cancellation is checked at
+// every phase boundary and per work batch inside the parallel fills; a
+// cancelled build returns ctx.Err() and no index. The result is identical
+// for any Workers value.
+func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Index, error) {
 	if len(opt.ThetaGrid) == 0 {
 		return nil, fmt.Errorf("nbindex: empty theta grid")
 	}
@@ -95,6 +128,10 @@ func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*I
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("nbindex: empty database")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
 	numVPs := opt.NumVPs
 	if numVPs > db.Len() {
 		numVPs = db.Len()
@@ -103,24 +140,35 @@ func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*I
 	if err != nil {
 		return nil, err
 	}
-	vo, err := vantage.Build(db, m, vps)
+	tVPs := time.Now()
+	vo, err := vantage.BuildContext(ctx, db, m, vps, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
+	tVO := time.Now()
 	branching := opt.Branching
 	if branching < 2 {
 		branching = 4
 	}
-	tree, err := nbtree.Build(db, m, nbtree.Options{Branching: branching, VO: vo}, rng)
+	tree, err := nbtree.BuildContext(ctx, db, m,
+		nbtree.Options{Branching: branching, VO: vo, Workers: opt.Workers}, rng)
 	if err != nil {
 		return nil, err
 	}
+	done := time.Now()
 	ix := &Index{
-		db:   db,
-		m:    m,
-		vo:   vo,
-		tree: tree,
-		grid: append([]float64(nil), opt.ThetaGrid...),
+		db:      db,
+		m:       m,
+		vo:      vo,
+		tree:    tree,
+		grid:    append([]float64(nil), opt.ThetaGrid...),
+		workers: opt.Workers,
+		timing: BuildTiming{
+			VPSelect: tVPs.Sub(start),
+			Vantage:  tVO.Sub(tVPs),
+			Tree:     done.Sub(tVO),
+			Total:    done.Sub(start),
+		},
 		leafOf: func() []int {
 			l := make([]int, db.Len())
 			for _, n := range tree.Nodes() {
@@ -133,6 +181,14 @@ func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*I
 	}
 	return ix, nil
 }
+
+// Timing returns the wall time each construction phase took. Zero for
+// indexes loaded with Read (no construction happened).
+func (ix *Index) Timing() BuildTiming { return ix.timing }
+
+// SetWorkers bounds the goroutines later session initializations use
+// (≤ 0 means GOMAXPROCS). Useful after Read, which has no Options.
+func (ix *Index) SetWorkers(w int) { ix.workers = w }
 
 // Insert extends the index with a graph already appended to the database
 // (its ID must be the database's last). Costs |V| vantage distances plus a
@@ -231,7 +287,15 @@ type QueryStats struct {
 // computing π̂-vectors over the full indexed θ grid so that any subsequent
 // TopK threshold (interactive refinement) is supported.
 func (ix *Index) NewSession(q core.Relevance) *Session {
-	return ix.newSession(q, ix.grid)
+	s, _ := ix.newSession(context.Background(), q, ix.grid)
+	return s
+}
+
+// NewSessionContext is NewSession with cancellation: the per-relevant-graph
+// vantage scans check the context between batches, and a cancelled
+// initialization returns ctx.Err() with no session.
+func (ix *Index) NewSessionContext(ctx context.Context, q core.Relevance) (*Session, error) {
+	return ix.newSession(ctx, q, ix.grid)
 }
 
 // NewSessionAt runs the initialization phase for a single known threshold:
@@ -240,10 +304,11 @@ func (ix *Index) NewSession(q core.Relevance) *Session {
 // required"). TopK at other thresholds remains correct but falls back to
 // trivial bounds, so use NewSession when θ will be refined.
 func (ix *Index) NewSessionAt(q core.Relevance, theta float64) *Session {
-	return ix.newSession(q, []float64{theta})
+	s, _ := ix.newSession(context.Background(), q, []float64{theta})
+	return s
 }
 
-func (ix *Index) newSession(q core.Relevance, grid []float64) *Session {
+func (ix *Index) newSession(ctx context.Context, q core.Relevance, grid []float64) (*Session, error) {
 	s := &Session{ix: ix, grid: grid, batchUpdates: true}
 	s.rel = core.Relevant(ix.db, q)
 	s.relPos = make([]int, ix.db.Len())
@@ -269,44 +334,31 @@ func (ix *Index) newSession(q core.Relevance, grid []float64) *Session {
 	}
 	// π̂-vectors: one vantage scan per relevant graph at the largest indexed
 	// threshold; each candidate's vantage lower bound assigns it to every
-	// grid slot it belongs to. Rows are independent, so the scans run on a
-	// small worker pool.
+	// grid slot it belongs to. Rows are independent and each lands in its own
+	// piHat slot, so the scans run on the worker pool without affecting the
+	// result.
 	s.piHat = make([][]int32, len(nodes))
 	if len(grid) > 0 && len(s.rel) > 0 {
 		thetaMax := grid[len(grid)-1]
 		isRel := func(id graph.ID) bool { return s.relPos[id] >= 0 }
-		workers := runtime.NumCPU()
-		if workers > 8 {
-			workers = 8
-		}
-		if workers > len(s.rel) {
-			workers = len(s.rel)
-		}
-		var wg sync.WaitGroup
-		work := make(chan graph.ID)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for id := range work {
-					row := make([]int32, len(grid))
-					for _, c := range ix.vo.CandidatesWithLB(id, thetaMax, isRel) {
-						slot := sort.SearchFloat64s(grid, c.LB)
-						for t := slot; t < len(grid); t++ {
-							row[t]++
-						}
+		err := pool.Ranges(ctx, len(s.rel), ix.workers, 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				id := s.rel[i]
+				row := make([]int32, len(grid))
+				for _, c := range ix.vo.CandidatesWithLB(id, thetaMax, isRel) {
+					slot := sort.SearchFloat64s(grid, c.LB)
+					for t := slot; t < len(grid); t++ {
+						row[t]++
 					}
-					s.piHat[ix.leafOf[id]] = row
 				}
-			}()
+				s.piHat[ix.leafOf[id]] = row
+			}
+		})
+		if err != nil {
+			return nil, err
 		}
-		for _, id := range s.rel {
-			work <- id
-		}
-		close(work)
-		wg.Wait()
 	}
-	return s
+	return s, nil
 }
 
 // RelevantCount returns |L_q| for the session.
@@ -336,11 +388,25 @@ func (s *Session) PiHatBytes() int64 {
 // (maximum marginal gain, ties toward the lower graph ID; picks stop when no
 // candidate improves coverage).
 func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
+	return s.TopKContext(context.Background(), theta, k)
+}
+
+// TopKContext is TopK with cancellation: the context is checked on entry, at
+// every greedy pick, and periodically inside the best-first search, so a
+// cancelled or expired context makes the call return ctx.Err() promptly
+// without publishing stats for the abandoned query.
+func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.Result, error) {
+	if math.IsNaN(theta) {
+		return nil, fmt.Errorf("nbindex: theta is NaN")
+	}
 	if theta < 0 {
 		return nil, fmt.Errorf("nbindex: negative theta %v", theta)
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("nbindex: non-positive k %d", k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ix := s.ix
 	nodes := ix.tree.Nodes()
@@ -440,6 +506,9 @@ func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
 	}
 
 	for len(res.Answer) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best, bestGain := graph.ID(-1), int32(0)
 		var bestNbrs []int // relevant positions newly covered by best
 		pq := &entryHeap{}
@@ -450,6 +519,14 @@ func (s *Session) TopK(theta float64, k int) (*core.Result, error) {
 		for pq.Len() > 0 {
 			e := heap.Pop(pq).(*entry)
 			st.PQPops++
+			// Periodic cancellation check: cheap relative to a pop (one
+			// atomic load every 256), yet bounds the abort latency of even a
+			// pathological single-pick search.
+			if st.PQPops&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			// The heap is ordered by bound, so once the best remaining bound
 			// drops below the verified best gain the pick is settled. Bounds
 			// equal to the best gain are still explored so that ties resolve
@@ -580,24 +657,46 @@ func ChooseGridFromLog(log []float64, gridSize int) []float64 {
 }
 
 // ChooseGrid picks gridSize thresholds for the π̂-vector from a sampled
-// distance distribution, placing thresholds at equally spaced quantiles so
-// that steep regions of the cumulative distribution get proportionally more
-// thresholds (§7.1, scheme 2).
+// distance distribution with the default worker count and no cancellation.
+// See ChooseGridContext.
 func ChooseGrid(db *graph.Database, m metric.Metric, gridSize, samplePairs int, rng *rand.Rand) []float64 {
+	grid, _ := ChooseGridContext(context.Background(), db, m, gridSize, samplePairs, 0, rng)
+	return grid
+}
+
+// ChooseGridContext picks gridSize thresholds for the π̂-vector from a
+// sampled distance distribution, placing thresholds at equally spaced
+// quantiles so that steep regions of the cumulative distribution get
+// proportionally more thresholds (§7.1, scheme 2).
+//
+// The pairs are drawn from rng sequentially — the RNG stream is identical
+// for any worker count — and only the distance evaluations fan out, each
+// writing its pre-assigned slot, so the grid is deterministic in
+// (db, samplePairs, rng seed) alone. A cancelled context returns ctx.Err().
+func ChooseGridContext(ctx context.Context, db *graph.Database, m metric.Metric, gridSize, samplePairs, workers int, rng *rand.Rand) ([]float64, error) {
 	if gridSize <= 0 || db.Len() < 2 {
-		return nil
+		return nil, ctx.Err()
 	}
-	ds := make([]float64, 0, samplePairs)
+	type pair struct{ a, b graph.ID }
+	pairs := make([]pair, 0, samplePairs)
 	for i := 0; i < samplePairs; i++ {
 		a := graph.ID(rng.Intn(db.Len()))
 		b := graph.ID(rng.Intn(db.Len()))
 		if a == b {
 			continue
 		}
-		ds = append(ds, m.Distance(a, b))
+		pairs = append(pairs, pair{a, b})
 	}
-	if len(ds) == 0 {
-		return nil
+	if len(pairs) == 0 {
+		return nil, ctx.Err()
+	}
+	ds := make([]float64, len(pairs))
+	if err := pool.Ranges(ctx, len(pairs), workers, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ds[i] = m.Distance(pairs[i].a, pairs[i].b)
+		}
+	}); err != nil {
+		return nil, err
 	}
 	sort.Float64s(ds)
 	grid := make([]float64, 0, gridSize)
@@ -612,5 +711,5 @@ func ChooseGrid(db *graph.Database, m metric.Metric, gridSize, samplePairs int, 
 	if max := ds[len(ds)-1]; len(grid) == 0 || grid[len(grid)-1] < max {
 		grid = append(grid, max)
 	}
-	return grid
+	return grid, nil
 }

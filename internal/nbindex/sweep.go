@@ -1,6 +1,7 @@
 package nbindex
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -23,6 +24,13 @@ type ThetaPoint struct {
 // the indexed grid — cheap, because the session is reused — and picks the
 // level whose coverage/granularity trade-off fits the task.
 func (s *Session) SweepTheta(k int, extra ...float64) ([]ThetaPoint, error) {
+	return s.SweepThetaContext(context.Background(), k, extra...)
+}
+
+// SweepThetaContext is SweepTheta with cancellation: the context is passed
+// to every per-threshold TopK call, so an expired deadline or a dropped
+// client aborts the sweep between (or inside) thresholds with ctx.Err().
+func (s *Session) SweepThetaContext(ctx context.Context, k int, extra ...float64) ([]ThetaPoint, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("nbindex: non-positive k %d", k)
 	}
@@ -41,7 +49,7 @@ func (s *Session) SweepTheta(k int, extra ...float64) ([]ThetaPoint, error) {
 		if theta < 0 {
 			return nil, fmt.Errorf("nbindex: negative theta %v in sweep", theta)
 		}
-		res, err := s.TopK(theta, k)
+		res, err := s.TopKContext(ctx, theta, k)
 		if err != nil {
 			return nil, err
 		}

@@ -13,11 +13,14 @@
 package nbtree
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
+	"graphrep/internal/pool"
 	"graphrep/internal/vantage"
 )
 
@@ -28,6 +31,11 @@ type Options struct {
 	Branching int
 	// VO optionally supplies vantage orderings for construction pruning.
 	VO *vantage.Ordering
+	// Workers bounds the goroutines used for the partition distance fills
+	// (≤ 0 means GOMAXPROCS). Pivot selection stays single-threaded on the
+	// rng, and every parallel fill writes to pre-assigned slots, so the tree
+	// is identical for any worker count.
+	Workers int
 }
 
 // Node is one cluster in the NB-Tree. Leaves represent single graphs
@@ -65,22 +73,33 @@ type BuildStats struct {
 	Nodes, Leaves int
 }
 
-// Build clusters db into an NB-Tree. rng drives the random first pivot at
-// every level; pass a seeded source for reproducible trees.
+// Build clusters db into an NB-Tree with no cancellation. See BuildContext.
 func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Tree, error) {
+	return BuildContext(context.Background(), db, m, opt, rng)
+}
+
+// BuildContext clusters db into an NB-Tree. rng drives the random first
+// pivot at every level; pass a seeded source for reproducible trees.
+// Cancellation is checked at every cluster boundary and between distance
+// chunks inside a partition; a cancelled build returns ctx.Err() with no
+// partial tree.
+func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Tree, error) {
 	if opt.Branching < 2 {
 		return nil, fmt.Errorf("nbtree: branching factor %d < 2", opt.Branching)
 	}
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("nbtree: empty database")
 	}
-	b := &builder{db: db, m: m, opt: opt, rng: rng}
+	b := &builder{ctx: ctx, db: db, m: m, opt: opt, rng: rng}
 	ids := make([]graph.ID, db.Len())
 	for i := range ids {
 		ids[i] = graph.ID(i)
 	}
-	root := b.build(ids)
-	t := &Tree{root: root, stats: b.stats}
+	root, err := b.build(ids)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{root: root, stats: b.snapshotStats()}
 	t.index(root, nil)
 	t.stats.Nodes = len(t.nodes)
 	for _, n := range t.nodes {
@@ -153,29 +172,51 @@ func (t *Tree) index(n *Node, parent *Node) {
 }
 
 type builder struct {
-	db    *graph.Database
-	m     metric.Metric
-	opt   Options
-	rng   *rand.Rand
-	stats BuildStats
+	ctx context.Context
+	db  *graph.Database
+	m   metric.Metric
+	opt Options
+	rng *rand.Rand
+	// exact and pruned are atomic because partition's distance fills run on
+	// a worker pool; the pruning decisions themselves depend only on state
+	// each index owns, so both totals are deterministic for any worker count.
+	exact, pruned atomic.Int64
+}
+
+func (b *builder) snapshotStats() BuildStats {
+	return BuildStats{ExactDistances: b.exact.Load(), PrunedDistances: b.pruned.Load()}
 }
 
 // dist issues an exact distance computation and counts it.
 func (b *builder) dist(a, c graph.ID) float64 {
-	b.stats.ExactDistances++
+	b.exact.Add(1)
 	return b.m.Distance(a, c)
 }
 
+// partitionChunk sizes the parallel distance fills: clusters at or below it
+// run inline, so the deep, small tail of the recursion pays no goroutine
+// overhead.
+const partitionChunk = 32
+
 // build clusters ids into a node. len(ids) ≥ 1.
-func (b *builder) build(ids []graph.ID) *Node {
-	if len(ids) == 1 {
-		return &Node{Centroid: ids[0], Size: 1, Leaf: true}
+func (b *builder) build(ids []graph.ID) (*Node, error) {
+	if err := b.ctx.Err(); err != nil {
+		return nil, err
 	}
-	pivots, assign := b.partition(ids)
+	if len(ids) == 1 {
+		return &Node{Centroid: ids[0], Size: 1, Leaf: true}, nil
+	}
+	pivots, assign, err := b.partition(ids)
+	if err != nil {
+		return nil, err
+	}
 	node := &Node{Size: len(ids), Centroid: pivots[0]}
 	// Radius: the running maximum of (upper bounds on) member distances to
 	// the centroid; Diameter: sum of the two largest (§6.4). Both are sound
 	// upper bounds even when the vantage pruning skips exact computations.
+	// This loop stays sequential: the pruning threshold is the running
+	// maximum, a recurrence whose prune-or-compute outcomes feed the encoded
+	// radius/diameter values, so reordering it would change the tree bytes.
 	var largest, second float64
 	for _, id := range ids {
 		dc := b.centroidDistance(node.Centroid, id, largest)
@@ -194,7 +235,7 @@ func (b *builder) build(ids []graph.ID) *Node {
 		for _, id := range ids {
 			node.Children = append(node.Children, &Node{Centroid: id, Size: 1, Leaf: true})
 		}
-		return node
+		return node, nil
 	}
 	for p := range pivots {
 		var sub []graph.ID
@@ -206,9 +247,13 @@ func (b *builder) build(ids []graph.ID) *Node {
 		if len(sub) == 0 {
 			continue
 		}
-		node.Children = append(node.Children, b.build(sub))
+		child, err := b.build(sub)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, child)
 	}
-	return node
+	return node, nil
 }
 
 // centroidDistance returns d(centroid, id), skipping the exact computation
@@ -222,7 +267,7 @@ func (b *builder) centroidDistance(centroid, id graph.ID, currentLargest float64
 	}
 	if b.opt.VO != nil {
 		if ub := b.opt.VO.UpperBound(centroid, id); ub <= currentLargest {
-			b.stats.PrunedDistances++
+			b.pruned.Add(1)
 			return ub
 		}
 	}
@@ -232,7 +277,13 @@ func (b *builder) centroidDistance(centroid, id graph.ID, currentLargest float64
 // partition chooses up to b pivots farthest-first and assigns every id to
 // its closest pivot. It returns the pivots and the assignment (an index into
 // pivots for every id).
-func (b *builder) partition(ids []graph.ID) (pivots []graph.ID, assign []int) {
+//
+// Only the rng-driven first-pivot draw and the farthest-first argmax scans
+// are sequential; the distance fills fan out over index ranges. Each index i
+// is touched by exactly one worker per round and its prune/compute decision
+// reads only minDist[i] from the previous round, so pivots, assignments, and
+// both stats totals are identical for any worker count.
+func (b *builder) partition(ids []graph.ID) (pivots []graph.ID, assign []int, err error) {
 	k := b.opt.Branching
 	if k > len(ids) {
 		k = len(ids)
@@ -241,8 +292,13 @@ func (b *builder) partition(ids []graph.ID) (pivots []graph.ID, assign []int) {
 	pivots = []graph.ID{first}
 	assign = make([]int, len(ids))
 	minDist := make([]float64, len(ids))
-	for i, id := range ids {
-		minDist[i] = b.dist(first, id)
+	err = pool.Ranges(b.ctx, len(ids), b.opt.Workers, partitionChunk, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			minDist[i] = b.dist(first, ids[i])
+		}
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	for len(pivots) < k {
 		// Farthest-first: the next pivot maximizes distance to the closest
@@ -259,23 +315,28 @@ func (b *builder) partition(ids []graph.ID) (pivots []graph.ID, assign []int) {
 		p := ids[best]
 		pIdx := len(pivots)
 		pivots = append(pivots, p)
-		for i, id := range ids {
-			if minDist[i] == 0 {
-				continue
+		err = pool.Ranges(b.ctx, len(ids), b.opt.Workers, partitionChunk, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if minDist[i] == 0 {
+					continue
+				}
+				// Vantage pruning: if even the lower bound cannot beat the
+				// current closest pivot, skip the exact computation.
+				if b.opt.VO != nil && b.opt.VO.LowerBound(p, ids[i]) >= minDist[i] {
+					b.pruned.Add(1)
+					continue
+				}
+				if d := b.dist(p, ids[i]); d < minDist[i] {
+					minDist[i] = d
+					assign[i] = pIdx
+				}
 			}
-			// Vantage pruning: if even the lower bound cannot beat the
-			// current closest pivot, skip the exact computation.
-			if b.opt.VO != nil && b.opt.VO.LowerBound(p, id) >= minDist[i] {
-				b.stats.PrunedDistances++
-				continue
-			}
-			if d := b.dist(p, id); d < minDist[i] {
-				minDist[i] = d
-				assign[i] = pIdx
-			}
+		})
+		if err != nil {
+			return nil, nil, err
 		}
 	}
-	return pivots, assign
+	return pivots, assign, nil
 }
 
 // Insert adds a newly appended database graph to the tree: it descends to

@@ -1,0 +1,77 @@
+// Package pool provides the bounded, context-aware worker pools the index
+// construction pipeline runs on. The contract every caller relies on:
+// work is pre-partitioned into index ranges and each range writes only to
+// its own output slots, so the result is byte-identical for any worker
+// count — parallelism changes wall time, never answers.
+//
+// Cancellation is checked between chunks: a worker finishes the chunk it is
+// on, then observes the context and stops, so Ranges returns promptly
+// (within one chunk of work per worker) after the context is cancelled.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers option to a concrete worker count: values ≤ 0
+// select GOMAXPROCS.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Ranges splits [0, n) into chunks of at most chunk indices and runs
+// fn(lo, hi) for each on up to workers goroutines (≤ 0 means GOMAXPROCS).
+// When only one chunk or one worker remains it runs inline — recursive
+// callers with small inputs pay no goroutine overhead.
+//
+// fn must confine its writes to outputs owned by [lo, hi); shared counters
+// must be atomic. Ranges returns ctx.Err() when the context was cancelled,
+// in which case some chunks may not have run.
+func Ranges(ctx context.Context, n, workers, chunk int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	workers = Resolve(workers)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers == 1 {
+		for lo := 0; lo < n; lo += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(lo, min(lo+chunk, n))
+		}
+		return ctx.Err()
+	}
+	// Chunks are claimed from an atomic cursor: cheaper than a channel and
+	// naturally load-balanced when chunk costs vary (e.g. cache misses).
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * chunk
+				fn(lo, min(lo+chunk, n))
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Errorf("Resolve(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, w := range []int{0, -1} {
+		if got := Resolve(w); got != want {
+			t.Errorf("Resolve(%d) = %d, want GOMAXPROCS %d", w, got, want)
+		}
+	}
+}
+
+// Every index in [0, n) is visited exactly once, for any worker count and
+// chunk size, including the n%chunk tail.
+func TestRangesCoversEveryIndexOnce(t *testing.T) {
+	for _, c := range []struct{ n, workers, chunk int }{
+		{1, 1, 1}, {100, 1, 7}, {100, 4, 7}, {100, 0, 16}, {5, 8, 2}, {64, 3, 64},
+	} {
+		visits := make([]atomic.Int32, c.n)
+		err := Ranges(context.Background(), c.n, c.workers, c.chunk, func(lo, hi int) {
+			if lo < 0 || hi > c.n || lo >= hi {
+				t.Errorf("n=%d workers=%d chunk=%d: bad range [%d, %d)", c.n, c.workers, c.chunk, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				visits[i].Add(1)
+			}
+		})
+		if err != nil {
+			t.Errorf("n=%d workers=%d chunk=%d: err = %v", c.n, c.workers, c.chunk, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Errorf("n=%d workers=%d chunk=%d: index %d visited %d times", c.n, c.workers, c.chunk, i, got)
+			}
+		}
+	}
+}
+
+func TestRangesEmptyInput(t *testing.T) {
+	if err := Ranges(context.Background(), 0, 4, 8, func(lo, hi int) {
+		t.Errorf("fn called with [%d, %d) on empty input", lo, hi)
+	}); err != nil {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// A cancelled context stops dispatch: Ranges reports context.Canceled and
+// runs at most one chunk per worker after cancellation.
+func TestRangesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := Ranges(ctx, 1000, workers, 10, func(lo, hi int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); int(n) > workers {
+			t.Errorf("workers=%d: %d chunks ran after pre-cancelled context", workers, n)
+		}
+	}
+}

@@ -22,6 +22,11 @@
 // tolerates concurrently with reads — so it takes the write lock, excluding
 // every other endpoint for the (short) duration of one incremental insert.
 //
+// Every /query and /sweep runs under its request's context: a client that
+// disconnects mid-query aborts the in-flight search (499 recorded), and
+// Options.QueryTimeout adds a per-request deadline (504 on expiry), so slow
+// queries cannot pile up behind dead connections.
+//
 // # Observability
 //
 // Every request is counted and timed per endpoint, and an in-flight gauge
@@ -32,7 +37,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -48,7 +55,18 @@ import (
 type Options struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// QueryTimeout bounds each /query and /sweep request: the request
+	// context gets this deadline, and a query that exceeds it is aborted
+	// inside the engine and answered with 504. Zero disables the timeout.
+	// Independently of the timeout, a dropped client connection cancels the
+	// request context and aborts the in-flight query.
+	QueryTimeout time.Duration
 }
+
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response was ready, so the aborted query has no one to
+// answer; recorded so the error counter distinguishes it from timeouts.
+const statusClientClosedRequest = 499
 
 // Server serves one engine. Sessions are cached per relevance spec so that
 // repeated queries (the interactive refinement pattern) hit the fast path.
@@ -263,7 +281,13 @@ func (s *Server) compile(spec RelevanceSpec) (graphrep.Relevance, error) {
 // The caller must hold s.mu.RLock (session initialization reads the index).
 // Concurrent first requests for one spec share a single initialization via
 // the entry's once; requests for other specs are never blocked by it.
-func (s *Server) session(spec RelevanceSpec) (*graphrep.Session, error) {
+//
+// Initialization runs under the first requester's context, so it dies with
+// that client or its deadline (concurrent requests sharing the once then see
+// the same context error). A context-cancelled entry is evicted before
+// returning so the next request re-initializes instead of inheriting a
+// permanently poisoned cache slot.
+func (s *Server) session(ctx context.Context, spec RelevanceSpec) (*graphrep.Session, error) {
 	key, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -281,9 +305,40 @@ func (s *Server) session(spec RelevanceSpec) (*graphrep.Session, error) {
 			e.err = err
 			return
 		}
-		e.sess, e.err = s.engine.NewSession(rel)
+		e.sess, e.err = s.engine.NewSessionContext(ctx, rel)
 	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		s.sessMu.Lock()
+		if s.sessions[string(key)] == e {
+			delete(s.sessions, string(key))
+		}
+		s.sessMu.Unlock()
+	}
 	return e.sess, e.err
+}
+
+// queryContext derives the context a query runs under: the request context
+// (cancelled when the client disconnects) bounded by the configured
+// per-request timeout.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// writeQueryError maps a query failure to a status: timeouts to 504,
+// client disconnects to 499 (the write is moot, but the error counter still
+// records it), anything else to 400 (validation).
+func writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "query timed out")
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		httpError(w, statusClientClosedRequest, "client closed request")
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
 }
 
 // QueryRequest is the /query and /sweep payload.
@@ -313,18 +368,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Sessions are safe for concurrent TopK calls; the read lock only
-	// excludes /insert, so queries run in parallel.
+	// excludes /insert, so queries run in parallel. The derived context
+	// aborts the query when the client disconnects or the configured
+	// per-request timeout fires.
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 	s.mu.RLock()
-	sess, err := s.session(req.Relevance)
+	sess, err := s.session(ctx, req.Relevance)
 	if err != nil {
 		s.mu.RUnlock()
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeQueryError(w, r, err)
 		return
 	}
-	res, err := sess.TopK(req.Theta, req.K)
+	res, err := sess.TopKContext(ctx, req.Theta, req.K)
 	s.mu.RUnlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeQueryError(w, r, err)
 		return
 	}
 	resp := QueryResponse{
@@ -355,17 +414,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be ≥ 1")
 		return
 	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 	s.mu.RLock()
-	sess, err := s.session(req.Relevance)
+	sess, err := s.session(ctx, req.Relevance)
 	if err != nil {
 		s.mu.RUnlock()
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeQueryError(w, r, err)
 		return
 	}
-	points, err := sess.SweepTheta(req.K)
+	points, err := sess.SweepThetaContext(ctx, req.K)
 	s.mu.RUnlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeQueryError(w, r, err)
 		return
 	}
 	best, err := graphrep.SuggestTheta(points)

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"graphrep"
 )
@@ -369,5 +370,26 @@ func TestConcurrentQueries(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(engine, Options{QueryTimeout: time.Nanosecond}).Handler())
+	defer ts.Close()
+
+	req := QueryRequest{Relevance: RelevanceSpec{Kind: "quartile"}, Theta: 10, K: 5}
+	if resp := postJSON(t, ts.URL+"/query", req, nil); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("/query with 1ns deadline: status %d, want 504", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/sweep", QueryRequest{Relevance: RelevanceSpec{Kind: "quartile"}, K: 5}, nil); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("/sweep with 1ns deadline: status %d, want 504", resp.StatusCode)
 	}
 }

@@ -11,15 +11,15 @@
 package vantage
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
+	"graphrep/internal/pool"
 )
 
 // SelectionPolicy chooses how vantage points are picked.
@@ -89,11 +89,21 @@ func SelectVPs(db *graph.Database, m metric.Metric, numVPs int, policy Selection
 	}
 }
 
-// Build computes the vantage orderings of db for the given vantage points.
-// It issues exactly len(vps)·|D| distance computations; rows for different
-// vantage points are computed in parallel (the metric must be safe for
-// concurrent use, which every metric in this module is).
+// Build computes the vantage orderings of db for the given vantage points
+// with the default worker count and no cancellation. See BuildContext.
 func Build(db *graph.Database, m metric.Metric, vps []graph.ID) (*Ordering, error) {
+	return BuildContext(context.Background(), db, m, vps, 0)
+}
+
+// BuildContext computes the vantage orderings of db for the given vantage
+// points. It issues exactly len(vps)·|D| distance computations. The |V|×n
+// matrix fill is chunked over pre-partitioned index ranges and spread across
+// up to workers goroutines (≤ 0 means GOMAXPROCS; the metric must be safe
+// for concurrent use, which every metric in this module is); every cell has
+// a fixed owner, so the ordering is identical for any worker count.
+// Cancellation is observed between chunks: on a cancelled context the
+// partial ordering is discarded and ctx.Err() returned.
+func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, vps []graph.ID, workers int) (*Ordering, error) {
 	if len(vps) == 0 {
 		return nil, fmt.Errorf("vantage: no vantage points")
 	}
@@ -109,42 +119,38 @@ func Build(db *graph.Database, m metric.Metric, vps []graph.ID) (*Ordering, erro
 			return nil, fmt.Errorf("vantage: vp %d out of range", vp)
 		}
 	}
-	workers := runtime.NumCPU()
-	if workers > len(o.vps) {
-		workers = len(o.vps)
-	}
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for v := range rows {
-				vp := o.vps[v]
-				row := make([]float64, n)
-				for i := 0; i < n; i++ {
-					row[i] = m.Distance(vp, graph.ID(i))
-				}
-				o.dist[v] = row
-				ids := make([]graph.ID, n)
-				for i := range ids {
-					ids[i] = graph.ID(i)
-				}
-				sort.Slice(ids, func(a, b int) bool { return row[ids[a]] < row[ids[b]] })
-				o.byDist[v] = ids
-				sd := make([]float64, n)
-				for i, id := range ids {
-					sd[i] = row[id]
-				}
-				o.sortedD[v] = sd
-			}
-		}()
-	}
 	for v := range o.vps {
-		rows <- v
+		o.dist[v] = make([]float64, n)
 	}
-	close(rows)
-	wg.Wait()
+	// Phase 1: the distance-matrix fill, flattened to |V|·n cells so the
+	// pool balances work even when |V| is far below the worker count.
+	if err := pool.Ranges(ctx, len(o.vps)*n, workers, 512, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			v, i := idx/n, idx%n
+			o.dist[v][i] = m.Distance(o.vps[v], graph.ID(i))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	// Phase 2: per-VP sorted views, one row per task.
+	if err := pool.Ranges(ctx, len(o.vps), workers, 1, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := o.dist[v]
+			ids := make([]graph.ID, n)
+			for i := range ids {
+				ids[i] = graph.ID(i)
+			}
+			sort.Slice(ids, func(a, b int) bool { return row[ids[a]] < row[ids[b]] })
+			o.byDist[v] = ids
+			sd := make([]float64, n)
+			for i, id := range ids {
+				sd[i] = row[id]
+			}
+			o.sortedD[v] = sd
+		}
+	}); err != nil {
+		return nil, err
+	}
 	return o, nil
 }
 

@@ -1,0 +1,149 @@
+package graphrep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphrep"
+)
+
+// buildAndQuery opens the dataset with the given worker count and returns
+// the persisted index bytes plus the JSON-encoded answer to one fixed query.
+func buildAndQuery(t *testing.T, workers int) ([]byte, []byte) {
+	t.Helper()
+	db, err := graphrep.GenerateDataset("dud", 180, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 3, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ixBuf bytes.Buffer
+	if err := engine.SaveIndex(&ixBuf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.TopKRepresentative(graphrep.Query{
+		Relevance: graphrep.FirstQuartileRelevance(db, nil),
+		Theta:     8,
+		K:         6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBuf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ixBuf.Bytes(), resBuf
+}
+
+// The construction pipeline must be deterministic in (dataset, seed) alone:
+// any Workers value yields byte-identical SaveIndex output and identical
+// answers, because all rng-driven decisions are single-threaded and the
+// parallel fills write to pre-assigned slots.
+func TestWorkersDoNotChangeIndexBytesOrAnswers(t *testing.T) {
+	ix1, res1 := buildAndQuery(t, 1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		ixW, resW := buildAndQuery(t, w)
+		if !bytes.Equal(ix1, ixW) {
+			t.Errorf("SaveIndex bytes differ between Workers=1 (%d bytes) and Workers=%d (%d bytes)",
+				len(ix1), w, len(ixW))
+		}
+		if !bytes.Equal(res1, resW) {
+			t.Errorf("answers differ between Workers=1 and Workers=%d:\n%s\nvs\n%s", w, res1, resW)
+		}
+	}
+}
+
+// A context cancelled before Open must abort construction promptly with
+// context.Canceled and no engine.
+func TestOpenContextCancelled(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	engine, err := graphrep.OpenContext(ctx, db, graphrep.Options{Seed: 2, Workers: 4})
+	if engine != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("OpenContext on cancelled ctx = (%v, %v), want (nil, context.Canceled)", engine, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled OpenContext took %v, want a prompt return", elapsed)
+	}
+}
+
+// Cancelled contexts must abort the query paths — session initialization,
+// TopK, and SweepTheta — with context.Canceled.
+func TestQueryContextCancelled(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := graphrep.FirstQuartileRelevance(db, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := engine.NewSessionContext(ctx, rel); !errors.Is(err, context.Canceled) {
+		t.Errorf("NewSessionContext = %v, want context.Canceled", err)
+	}
+	if _, err := engine.TopKRepresentativeContext(ctx, graphrep.Query{Relevance: rel, Theta: 8, K: 5}); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopKRepresentativeContext = %v, want context.Canceled", err)
+	}
+
+	sess, err := engine.NewSession(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.TopKContext(ctx, 8, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopKContext = %v, want context.Canceled", err)
+	}
+	if _, err := sess.SweepThetaContext(ctx, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("SweepThetaContext = %v, want context.Canceled", err)
+	}
+}
+
+// The direct session path must validate its arguments like the Engine path
+// does: non-positive k and NaN or negative theta are rejected, not silently
+// misanswered.
+func TestSessionTopKValidatesArguments(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := engine.NewSession(graphrep.FirstQuartileRelevance(db, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := 0.0
+	nan /= nan // avoid importing math for one NaN
+	for _, c := range []struct {
+		name  string
+		theta float64
+		k     int
+	}{
+		{"zero k", 5, 0},
+		{"negative k", 5, -1},
+		{"negative theta", -1, 5},
+		{"NaN theta", nan, 5},
+	} {
+		if _, err := sess.TopK(c.theta, c.k); err == nil {
+			t.Errorf("%s: TopK(%v, %d) succeeded, want error", c.name, c.theta, c.k)
+		}
+	}
+}
