@@ -37,6 +37,18 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker goroutines for index construction and session init (0 = GOMAXPROCS; the answer is identical for any value)")
 	)
 	flag.Parse()
+	if *k <= 0 {
+		usageError("-k must be >= 1, got %d", *k)
+	}
+	if *workers < 0 {
+		usageError("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *theta < 0 {
+		usageError("-theta must be >= 0 (0 = auto), got %g", *theta)
+	}
+	if *in == "" && *n <= 0 {
+		usageError("-n must be >= 1 when generating a dataset, got %d", *n)
+	}
 
 	db, err := loadDatabase(*in, *name, *n, *seed)
 	if err != nil {
@@ -205,4 +217,13 @@ func autoTheta(db *graphrep.Database) float64 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repquery:", err)
 	os.Exit(1)
+}
+
+// usageError rejects an invalid flag value: the complaint plus the usage
+// text on stderr, exit status 2 (flag's own convention for bad invocations,
+// distinct from runtime failures, which exit 1 via fatal).
+func usageError(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "repquery: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

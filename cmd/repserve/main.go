@@ -42,6 +42,15 @@ func main() {
 		queryTO  = flag.Duration("query-timeout", 0, "per-request deadline for /query and /sweep (0 = none; expired queries answer 504)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		usageError("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *queryTO < 0 {
+		usageError("-query-timeout must be >= 0 (0 = none), got %v", *queryTO)
+	}
+	if *in == "" && *n <= 0 {
+		usageError("-n must be >= 1 when generating a dataset, got %d", *n)
+	}
 
 	db, err := loadDatabase(*in, *name, *n, *seed)
 	if err != nil {
@@ -77,6 +86,15 @@ func main() {
 			log.Fatalf("shutdown: %v", err)
 		}
 	}
+}
+
+// usageError rejects an invalid flag value: the complaint plus the usage
+// text on stderr, exit status 2 (flag's own convention for bad invocations,
+// distinct from runtime failures, which exit 1 via log.Fatal).
+func usageError(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "repserve: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, error) {

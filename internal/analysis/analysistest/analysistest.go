@@ -1,0 +1,117 @@
+// Package analysistest runs a framework.Analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest (which the sealed module cache
+// rules out).
+//
+// Fixtures live under testdata/src/<importpath>/ — GOPATH layout, so one
+// fixture package can import another (e.g. a stub telemetry package).
+// Expectations are trailing comments on the offending line:
+//
+//	_ = rand.Intn(6) // want `global math/rand`
+//
+// Each backquoted or double-quoted string after "want" is a regexp that must
+// match exactly one diagnostic reported on that line; diagnostics on lines
+// with no matching want, and wants with no matching diagnostic, fail the
+// test. //lint:allow directives are honored exactly as the replint driver
+// honors them, so the escape hatch is testable.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graphrep/internal/analysis/framework"
+)
+
+// wantRe captures the regexp strings of one want comment.
+var wantStringRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package from testdata/src/<pkg>, runs the analyzer,
+// and reports mismatches between diagnostics and // want expectations.
+func Run(t *testing.T, testdataDir string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdataDir, "src")
+	loader := framework.NewLoader(func(path string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.LoadDir(filepath.Join(srcRoot, filepath.FromSlash(pkgPath)), pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, raw := range wantStringRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pattern, err := unquote(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, raw, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		res := wants[k]
+		matched := -1
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k] = append(res[:matched], res[matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+func unquote(raw string) (string, error) {
+	if strings.HasPrefix(raw, "`") {
+		return strings.Trim(raw, "`"), nil
+	}
+	return strconv.Unquote(raw)
+}

@@ -1,0 +1,227 @@
+// Package ctxflow enforces the context-propagation contract behind the
+// server's 499/504 paths: an exported function (or method) that accepts a
+// context.Context must actually run under it. Inside such a function, in
+// non-main non-test packages:
+//
+//   - context.Background() and context.TODO() are forbidden — minting a
+//     fresh root silently detaches the work from the caller's cancellation
+//     and deadline, which is exactly the bug class that made /query hang
+//     behind dead connections,
+//   - every call to a callee that itself accepts a context.Context must be
+//     passed a context derived from the function's own ctx parameter
+//     (directly, or through locals assigned from it — context.WithTimeout
+//     chains are tracked).
+//
+// Unexported helpers and ctx-less convenience wrappers (Build calling
+// BuildContext with context.Background()) are intentionally out of scope:
+// the contract binds the exported API surface, where the caller handed over
+// a context and is owed its enforcement.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphrep/internal/analysis/framework"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "exported functions taking a context.Context must not call " +
+		"context.Background/TODO and must forward their ctx to every callee that accepts one",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			ctxParams := contextParams(pass, fn)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			checkFunc(pass, fn, ctxParams)
+		}
+	}
+	return nil
+}
+
+// contextParams returns the objects of fn's context.Context-typed
+// parameters.
+func contextParams(pass *framework.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	params := map[types.Object]bool{}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil && isContext(obj.Type()) {
+				params[obj] = true
+			}
+		}
+	}
+	return params
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, ctxParams map[types.Object]bool) {
+	tainted := deriveContexts(pass, fn.Body, ctxParams)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := framework.QualifiedCall(pass.TypesInfo, call); ok &&
+			pkg == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(),
+				"%s takes a context.Context but calls context.%s; forward ctx instead of minting a fresh root context",
+				fn.Name.Name, name)
+			return true
+		}
+		sig := calleeSignature(pass, call)
+		if sig == nil {
+			return true
+		}
+		idx := contextParamIndex(sig)
+		if idx < 0 || idx >= len(call.Args) {
+			return true
+		}
+		arg := call.Args[idx]
+		// A Background/TODO argument was already reported by the scan above.
+		if containsRootContext(pass, arg) {
+			return true
+		}
+		if !mentionsAny(pass, arg, tainted) {
+			pass.Reportf(arg.Pos(),
+				"%s does not forward its ctx to %s, which accepts a context.Context",
+				fn.Name.Name, calleeName(call))
+		}
+		return true
+	})
+}
+
+// deriveContexts computes the set of context-typed objects derived from the
+// function's ctx parameters: the parameters themselves plus any local
+// assigned from an expression mentioning a member of the set
+// (ctx2, cancel := context.WithTimeout(ctx, d), sctx := ctx, ...).
+// Iterates to a fixpoint so chains of derivations resolve in any order.
+func deriveContexts(pass *framework.Pass, body *ast.BlockStmt, seed map[types.Object]bool) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for obj := range seed {
+		tainted[obj] = true
+	}
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			// Locals assigned from Background/TODO count as derived too: the
+			// mint itself is already reported at its call site, and one
+			// diagnostic per root cause beats a cascade at every use.
+			fromTainted := false
+			for _, rhs := range assign.Rhs {
+				if mentionsAny(pass, rhs, tainted) || containsRootContext(pass, rhs) {
+					fromTainted = true
+					break
+				}
+			}
+			if !fromTainted {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				ident, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[ident]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[ident]
+				}
+				if obj != nil && isContext(obj.Type()) && !tainted[obj] {
+					tainted[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return tainted
+		}
+	}
+}
+
+func mentionsAny(pass *framework.Pass, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[ident]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func containsRootContext(pass *framework.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if pkg, name, ok := framework.QualifiedCall(pass.TypesInfo, call); ok &&
+				pkg == "context" && (name == "Background" || name == "TODO") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeSignature returns the signature of the called function, or nil for
+// conversions, builtins, and calls whose type is unknown.
+func calleeSignature(pass *framework.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// contextParamIndex returns the index of the first context.Context parameter
+// of sig, or -1.
+func contextParamIndex(sig *types.Signature) int {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	default:
+		return "the callee"
+	}
+}

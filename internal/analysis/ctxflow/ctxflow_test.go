@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"graphrep/internal/analysis/analysistest"
+	"graphrep/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "ctxpkg")
+}

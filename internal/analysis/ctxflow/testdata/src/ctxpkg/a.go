@@ -1,0 +1,54 @@
+// Package ctxpkg exercises the context-propagation contract.
+package ctxpkg
+
+import (
+	"context"
+	"time"
+)
+
+func helper(ctx context.Context, n int) error { return ctx.Err() }
+
+func noCtx(n int) int { return n }
+
+// Forward is the happy path: ctx reaches every ctx-accepting callee.
+func Forward(ctx context.Context) error {
+	noCtx(1)
+	return helper(ctx, 1)
+}
+
+// ForwardDerived passes a context derived from ctx — still a forward.
+func ForwardDerived(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	sub := tctx
+	return helper(sub, 1)
+}
+
+// MintsBackground detaches the callee from the caller's cancellation.
+func MintsBackground(ctx context.Context) error {
+	return helper(context.Background(), 1) // want `MintsBackground takes a context\.Context but calls context\.Background`
+}
+
+// MintsTODO is the same bug with TODO.
+func MintsTODO(ctx context.Context) error {
+	_ = ctx
+	c := context.TODO() // want `MintsTODO takes a context\.Context but calls context\.TODO`
+	return helper(c, 1)
+}
+
+var stored context.Context
+
+// DropsCtx calls a ctx-accepting callee with an unrelated context.
+func DropsCtx(ctx context.Context) error {
+	return helper(stored, 1) // want `DropsCtx does not forward its ctx to helper`
+}
+
+// unexported functions are outside the contract.
+func relaxed(ctx context.Context) error {
+	return helper(context.Background(), 1)
+}
+
+// NoContextParam has no ctx to forward; Background is its job.
+func NoContextParam() error {
+	return helper(context.Background(), 1)
+}

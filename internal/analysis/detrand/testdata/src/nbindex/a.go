@@ -1,0 +1,31 @@
+// Package nbindex is a fixture named after a deterministic scope package.
+package nbindex
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `global math/rand\.Intn uses process-wide RNG state`
+	_ = rand.Float64()                 // want `global math/rand\.Float64 uses process-wide RNG state`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle uses process-wide RNG state`
+	_ = time.Now()                     // want `time\.Now in deterministic package nbindex`
+}
+
+func badSeed() {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from the clock`
+}
+
+func badSourceOnly() {
+	_ = rand.NewSource(time.Now().Unix()) // want `RNG seeded from the clock`
+}
+
+func good(rng *rand.Rand, seed int64) {
+	_ = rng.Intn(10)
+	_ = rand.New(rand.NewSource(seed))
+	start := time.Now() //lint:allow detrand sanctioned build-phase wall-time gauge site
+	_ = start
+	//lint:allow detrand standalone directive covers the next line
+	_ = time.Now()
+}

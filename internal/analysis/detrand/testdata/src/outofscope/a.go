@@ -1,0 +1,14 @@
+// Package outofscope is not a deterministic scope package: clock reads and
+// global rand are legal here.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func fine() {
+	_ = rand.Intn(10)
+	_ = time.Now()
+	_ = rand.New(rand.NewSource(time.Now().UnixNano()))
+}

@@ -1,0 +1,192 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// core of golang.org/x/tools/go/analysis: an Analyzer runs over one
+// type-checked package (a Pass) and reports position-anchored Diagnostics.
+//
+// The repo's module cache is sealed (no network, no x/tools), so rather than
+// vendoring the real framework this package provides the small slice of it
+// the replint analyzers need, built entirely on go/ast, go/types, and
+// go/importer. The shape mirrors x/tools deliberately — Analyzer{Name, Doc,
+// Run}, Pass.Reportf — so the analyzers port to the real framework by
+// changing one import if the dependency ever becomes available.
+//
+// # Suppression
+//
+// A diagnostic can be silenced with an explicit escape hatch:
+//
+//	start := time.Now() //lint:allow detrand build-phase wall-time gauge
+//
+// The directive names one or more analyzers (comma-separated) and applies to
+// diagnostics on its own line or on the line directly below it, so it works
+// both as a trailing comment and as a standalone comment above the offending
+// statement. Everything after the analyzer list is a free-text reason,
+// required by convention: an unexplained allow is a review smell.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. It must be a valid Go identifier.
+	Name string
+	// Doc is the help text shown by replint -list.
+	Doc string
+	// Run executes the check over one package, reporting findings through
+	// pass.Reportf. Returning an error aborts the whole lint run — reserve
+	// it for internal failures, not findings.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file was parsed from a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// RunAnalyzers executes each analyzer over the package, filters findings
+// through the //lint:allow directives in the package's files, and returns
+// the survivors sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Pkg.Path(), err)
+		}
+		for _, d := range pass.diags {
+			if !allows.suppressed(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowSet indexes //lint:allow directives: file -> line -> analyzer names.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// A directive covers its own line (trailing comment) and the line below
+	// it (standalone comment above the statement).
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+const allowPrefix = "lint:allow"
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				// fields[0] is the comma-separated analyzer list; the rest
+				// is the human-readable reason.
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						names[name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// QualifiedCall resolves a call of the form pkg.Fn(...) to the imported
+// package's path and the function name. ok is false for method calls, calls
+// through locals, conversions, and builtins.
+func QualifiedCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pkgName, isPkg := info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}

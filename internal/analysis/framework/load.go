@@ -1,0 +1,157 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package with full syntax and type
+// information — what a Pass analyzes.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Dir        string
+	ImportPath string
+}
+
+// Loader parses and type-checks packages from source. Standard-library
+// imports go through the compiler-independent source importer (no export
+// data or network needed); every other import path is resolved to a source
+// directory by the Resolve hook — the replint driver maps module paths into
+// the repo, the analysistest harness maps them into testdata/src. Loaded
+// dependencies are cached, so a whole-repo lint type-checks each package
+// (and the standard library) once.
+type Loader struct {
+	Fset    *token.FileSet
+	Resolve func(importPath string) (dir string, ok bool)
+
+	std   types.ImporterFrom
+	cache map[string]*Package
+}
+
+// NewLoader returns a Loader resolving non-standard-library imports through
+// resolve.
+func NewLoader(resolve func(importPath string) (dir string, ok bool)) *Loader {
+	// The source importer honors go/build's default context; with cgo
+	// enabled it would shell out to preprocess cgo-tainted packages (net,
+	// os/user). Their pure-Go fallbacks type-check identically for lint
+	// purposes, so force them.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   map[string]*Package{},
+	}
+}
+
+// Import implements types.Importer for dependency resolution during type
+// checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg.Pkg, nil
+	}
+	if dir, ok := l.Resolve(path); ok {
+		loaded, err := l.load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return loaded.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir, retaining the syntax
+// trees and full types.Info an analyzer needs. A package already loaded —
+// directly or as a dependency of an earlier load — is returned from cache, so
+// every import path maps to exactly one *types.Package per Loader; a second
+// instance would make its types incompatible with packages that imported the
+// first.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.cache[importPath]; ok {
+		return pkg, nil
+	}
+	return l.load(dir, importPath)
+}
+
+func (l *Loader) load(dir, importPath string) (*Package, error) {
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	p := &Package{
+		Fset:       l.Fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		Dir:        dir,
+		ImportPath: importPath,
+	}
+	l.cache[importPath] = p
+	return p, nil
+}
+
+// parseDir parses every buildable non-test Go file in dir, in name order so
+// diagnostics come out deterministically.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"graphrep/internal/analysis/analysistest"
+	"graphrep/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "lockpkg")
+}

@@ -1,0 +1,120 @@
+// Package metricname enforces the telemetry namespace: every metric
+// registered on a telemetry.Registry must be a compile-time constant string
+// matching ^graphrep_[a-z0-9_]+$, and no name may be registered twice within
+// a package. One scrape of GET /metrics covers the whole process, so the
+// prefix is what keeps the exposition greppable and collision-free as
+// subsystems multiply; constant names are what make this analyzer (and
+// grep) able to see the full namespace at compile time.
+//
+// The check applies to every Registry constructor method (NewCounter,
+// MustHistogramVec, NewGaugeFunc, ...). The telemetry package itself is
+// exempt — its Must* wrappers forward a name parameter by design — as are
+// test files, which register throwaway names on throwaway registries.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"graphrep/internal/analysis/framework"
+)
+
+// Analyzer is the metricname check.
+var Analyzer = &framework.Analyzer{
+	Name: "metricname",
+	Doc: "telemetry registrations must use constant metric names matching " +
+		"^graphrep_[a-z0-9_]+$, unique within each package",
+	Run: run,
+}
+
+// NamePattern is the namespace grammar registrations must satisfy.
+var NamePattern = regexp.MustCompile(`^graphrep_[a-z0-9_]+$`)
+
+// registerMethods are the telemetry.Registry methods whose first argument is
+// a metric name.
+var registerMethods = map[string]bool{
+	"NewCounter":       true,
+	"NewCounterFunc":   true,
+	"NewCounterVec":    true,
+	"NewGauge":         true,
+	"NewGaugeFunc":     true,
+	"NewHistogram":     true,
+	"NewHistogramVec":  true,
+	"MustCounter":      true,
+	"MustCounterVec":   true,
+	"MustGauge":        true,
+	"MustHistogram":    true,
+	"MustHistogramVec": true,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "telemetry" {
+		return nil
+	}
+	seen := map[string]token.Position{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registerMethods[sel.Sel.Name] || !isRegistry(pass, sel) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"metric name passed to %s must be a compile-time constant string so the full namespace is auditable",
+					sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !NamePattern.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"metric name %q must match %s", name, NamePattern)
+				return true
+			}
+			if prev, dup := seen[name]; dup {
+				pass.Reportf(arg.Pos(),
+					"duplicate metric name %q (already registered at %s)", name, prev)
+				return true
+			}
+			seen[name] = pass.Fset.Position(arg.Pos())
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistry reports whether sel selects a method on (a pointer to) the
+// telemetry package's Registry type. Matching is by type identity shape —
+// named type "Registry" in a package named "telemetry" — so the stub
+// Registry in analyzer fixtures and the real internal/telemetry one both
+// qualify.
+func isRegistry(pass *framework.Pass, sel *ast.SelectorExpr) bool {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "telemetry"
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"graphrep/internal/analysis/analysistest"
+	"graphrep/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, "mpkg")
+}

@@ -1,0 +1,27 @@
+// Package mpkg exercises the metric-namespace rules.
+package mpkg
+
+import "telemetry"
+
+const constName = "graphrep_const_named_total"
+
+type notRegistry struct{}
+
+func (notRegistry) MustCounter(name, help string) {}
+
+func register(r *telemetry.Registry, dynamic string) {
+	r.MustCounter("graphrep_ops_total", "ok")
+	r.MustGauge("graphrep_in_flight", "ok")
+	_, _ = r.NewHistogram("graphrep_latency_seconds", "ok", []float64{1})
+	r.MustCounter(constName, "constants are fine")
+	_ = r.NewGaugeFunc("graphrep_ratio", "ok", func() float64 { return 0 })
+
+	r.MustCounter("http_requests_total", "missing prefix") // want `metric name "http_requests_total" must match`
+	r.MustGauge("graphrep_BadCase", "upper case")          // want `metric name "graphrep_BadCase" must match`
+	r.MustCounter("graphrep_", "empty tail")               // want `metric name "graphrep_" must match`
+	r.MustCounter(dynamic, "not constant")                 // want `must be a compile-time constant string`
+	r.MustCounter("graphrep_ops_total", "dup")             // want `duplicate metric name "graphrep_ops_total"`
+
+	// Same method name on an unrelated type: not a registration.
+	notRegistry{}.MustCounter("whatever", "ignored")
+}

@@ -1,0 +1,123 @@
+package metric
+
+import (
+	"sort"
+	"testing"
+
+	"graphrep/internal/graph"
+)
+
+// lineMetric places graph i at coordinate i on a line, so d(a, b) = |a-b|.
+// Distances are trivially a metric and range results are easy to enumerate
+// by hand.
+func lineMetric() Metric {
+	return Func(func(a, b graph.ID) float64 {
+		d := float64(a) - float64(b)
+		if d < 0 {
+			d = -d
+		}
+		return d
+	})
+}
+
+func sortedIDs(ids []graph.ID) []graph.ID {
+	out := append([]graph.ID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestLinearScanRange(t *testing.T) {
+	ls := NewLinearScan(10, lineMetric())
+	if ls.N != 10 {
+		t.Fatalf("NewLinearScan: N = %d, want 10", ls.N)
+	}
+
+	got := sortedIDs(ls.Range(5, 2))
+	want := []graph.ID{3, 4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Range(5, 2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range(5, 2) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinearScanRangeIncludesCenter(t *testing.T) {
+	// Radius 0 still matches the center itself: d(c, c) = 0 ≤ 0.
+	got := NewLinearScan(8, lineMetric()).Range(3, 0)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Range(3, 0) = %v, want [3]", got)
+	}
+}
+
+func TestLinearScanRangeEmpty(t *testing.T) {
+	// A negative radius matches nothing — not even the center — because no
+	// distance is ≤ a negative bound. This is the empty-result branch.
+	if got := NewLinearScan(8, lineMetric()).Range(3, -1); len(got) != 0 {
+		t.Fatalf("Range(3, -1) = %v, want empty", got)
+	}
+	// An empty database matches nothing either.
+	if got := NewLinearScan(0, lineMetric()).Range(0, 100); len(got) != 0 {
+		t.Fatalf("Range over empty database = %v, want empty", got)
+	}
+}
+
+func TestLinearScanRangeBoundaryInclusive(t *testing.T) {
+	// The contract is d ≤ radius, so graphs exactly at the radius are in.
+	got := sortedIDs(NewLinearScan(10, lineMetric()).Range(0, 4))
+	want := []graph.ID{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Range(0, 4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range(0, 4) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinearScanRangeThroughCache(t *testing.T) {
+	// A LinearScan over a cached metric: the first query misses on every
+	// non-identity pair, a repeat of the same query is answered entirely
+	// from the memo table (the cache-hit branch).
+	cache := NewCache(lineMetric())
+	ls := NewLinearScan(6, cache)
+
+	first := ls.Range(2, 3)
+	if hits, misses := cache.Hits(), cache.Misses(); hits != 0 || misses != 5 {
+		t.Fatalf("after first query: hits=%d misses=%d, want 0/5", hits, misses)
+	}
+	if cache.Size() != 5 {
+		t.Fatalf("cache size = %d, want 5", cache.Size())
+	}
+
+	second := ls.Range(2, 3)
+	if hits, misses := cache.Hits(), cache.Misses(); hits != 5 || misses != 5 {
+		t.Fatalf("after repeat query: hits=%d misses=%d, want 5/5", hits, misses)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached query changed the answer: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached query changed the answer: %v vs %v", first, second)
+		}
+	}
+
+	// Clear drops the memo table and the totals; the next query recomputes.
+	cache.Clear()
+	if cache.Size() != 0 || cache.Hits() != 0 || cache.Misses() != 0 {
+		t.Fatalf("after Clear: size=%d hits=%d misses=%d, want all zero",
+			cache.Size(), cache.Hits(), cache.Misses())
+	}
+	ls.Range(2, 3)
+	if hits, misses := cache.Hits(), cache.Misses(); hits != 0 || misses != 5 {
+		t.Fatalf("after Clear and re-query: hits=%d misses=%d, want 0/5", hits, misses)
+	}
+}
+
+func TestLinearScanSatisfiesRangeSearcher(t *testing.T) {
+	var _ RangeSearcher = NewLinearScan(1, lineMetric())
+}

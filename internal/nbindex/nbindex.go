@@ -131,7 +131,7 @@ func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
 	numVPs := opt.NumVPs
 	if numVPs > db.Len() {
 		numVPs = db.Len()
@@ -140,12 +140,12 @@ func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt 
 	if err != nil {
 		return nil, err
 	}
-	tVPs := time.Now()
+	tVPs := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
 	vo, err := vantage.BuildContext(ctx, db, m, vps, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
-	tVO := time.Now()
+	tVO := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
 	branching := opt.Branching
 	if branching < 2 {
 		branching = 4
@@ -155,7 +155,7 @@ func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt 
 	if err != nil {
 		return nil, err
 	}
-	done := time.Now()
+	done := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
 	ix := &Index{
 		db:      db,
 		m:       m,
@@ -267,7 +267,7 @@ type Session struct {
 	// statsMu guards lastStats; every other Session field is immutable after
 	// initialization, which is what makes concurrent TopK calls safe.
 	statsMu   sync.Mutex
-	lastStats QueryStats
+	lastStats QueryStats // guarded by statsMu
 }
 
 // SetBatchUpdates toggles the cluster-batched bound updates (Theorems 6–8

@@ -25,28 +25,28 @@ type Telemetry struct {
 }
 
 // NewTelemetry registers the nbindex metric family on r and returns the
-// aggregator. Metric names are fixed (nbindex_*), so registering twice on
+// aggregator. Metric names are fixed (graphrep_nbindex_*), so registering twice on
 // one registry fails with telemetry.ErrDuplicate.
 func NewTelemetry(r *telemetry.Registry) (*Telemetry, error) {
 	t := &Telemetry{}
 	var err error
-	if t.Queries, err = r.NewCounter("nbindex_queries_total",
+	if t.Queries, err = r.NewCounter("graphrep_nbindex_queries_total",
 		"Completed TopK calls across all sessions."); err != nil {
 		return nil, err
 	}
-	if t.PQPops, err = r.NewHistogram("nbindex_pq_pops",
+	if t.PQPops, err = r.NewHistogram("graphrep_nbindex_pq_pops",
 		"Priority-queue pops per TopK call (Alg. 2 search effort).", workBuckets); err != nil {
 		return nil, err
 	}
-	if t.VerifiedLeaves, err = r.NewHistogram("nbindex_verified_leaves",
+	if t.VerifiedLeaves, err = r.NewHistogram("graphrep_nbindex_verified_leaves",
 		"Leaves exactly verified per TopK call (candidates surviving the bound pruning).", workBuckets); err != nil {
 		return nil, err
 	}
-	if t.CandidateScans, err = r.NewHistogram("nbindex_candidate_scans",
+	if t.CandidateScans, err = r.NewHistogram("graphrep_nbindex_candidate_scans",
 		"Vantage candidates scanned per TopK call (Theorem 5 candidate set sizes).", workBuckets); err != nil {
 		return nil, err
 	}
-	if t.ExactDistances, err = r.NewHistogram("nbindex_exact_distances",
+	if t.ExactDistances, err = r.NewHistogram("graphrep_nbindex_exact_distances",
 		"Exact distance computations per TopK call (the paper's central cost measure).", workBuckets); err != nil {
 		return nil, err
 	}

@@ -54,9 +54,9 @@ func TestTelemetryAggregatesQueryStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{
-		"nbindex_queries_total", "nbindex_pq_pops_count",
-		"nbindex_verified_leaves_count", "nbindex_candidate_scans_count",
-		"nbindex_exact_distances_sum",
+		"graphrep_nbindex_queries_total", "graphrep_nbindex_pq_pops_count",
+		"graphrep_nbindex_verified_leaves_count", "graphrep_nbindex_candidate_scans_count",
+		"graphrep_nbindex_exact_distances_sum",
 	} {
 		if !strings.Contains(sb.String(), name) {
 			t.Errorf("exposition missing %s", name)

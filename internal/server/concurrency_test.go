@@ -299,11 +299,11 @@ func TestMetricsConsistentAfterStorm(t *testing.T) {
 	out := string(body)
 	total := workers * iters
 	for _, want := range []string{
-		fmt.Sprintf(`http_requests_total{endpoint="/query"} %d`, total),
-		fmt.Sprintf(`http_requests_total{endpoint="/stats"} %d`, total),
-		fmt.Sprintf(`http_request_duration_seconds_count{endpoint="/query"} %d`, total),
-		fmt.Sprintf("nbindex_queries_total %d", total),
-		"http_in_flight_requests 1",
+		fmt.Sprintf(`graphrep_http_requests_total{endpoint="/query"} %d`, total),
+		fmt.Sprintf(`graphrep_http_requests_total{endpoint="/stats"} %d`, total),
+		fmt.Sprintf(`graphrep_http_request_duration_seconds_count{endpoint="/query"} %d`, total),
+		fmt.Sprintf("graphrep_nbindex_queries_total %d", total),
+		"graphrep_http_in_flight_requests 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
@@ -312,7 +312,7 @@ func TestMetricsConsistentAfterStorm(t *testing.T) {
 	// Every endpoint's error counter (created eagerly by the middleware)
 	// must still read zero: the storm sent only well-formed requests.
 	for _, line := range strings.Split(out, "\n") {
-		if strings.HasPrefix(line, "http_errors_total{") && !strings.HasSuffix(line, " 0") {
+		if strings.HasPrefix(line, "graphrep_http_errors_total{") && !strings.HasSuffix(line, " 0") {
 			t.Errorf("well-formed traffic produced errors: %s", line)
 		}
 	}

@@ -73,8 +73,8 @@ const statusClientClosedRequest = 499
 // Create at most one Server per engine: the HTTP metrics register on the
 // engine's telemetry registry under fixed names.
 type Server struct {
-	engine *graphrep.Engine
-	db     *graphrep.Database
+	engine *graphrep.Engine   // guarded by mu
+	db     *graphrep.Database // guarded by mu
 	opts   Options
 
 	// mu is the engine-state lock: /insert mutates the database and index
@@ -83,12 +83,12 @@ type Server struct {
 
 	// sessMu guards the session cache. Lock order: mu before sessMu.
 	sessMu   sync.Mutex
-	sessions map[string]*sessionEntry
+	sessions map[string]*sessionEntry // guarded by sessMu
 
-	requests *telemetry.CounterVec   // http_requests_total{endpoint}
-	errors   *telemetry.CounterVec   // http_errors_total{endpoint}
-	latency  *telemetry.HistogramVec // http_request_duration_seconds{endpoint}
-	inFlight *telemetry.Gauge        // http_in_flight_requests
+	requests *telemetry.CounterVec   // graphrep_http_requests_total{endpoint}
+	errors   *telemetry.CounterVec   // graphrep_http_errors_total{endpoint}
+	latency  *telemetry.HistogramVec // graphrep_http_request_duration_seconds{endpoint}
+	inFlight *telemetry.Gauge        // graphrep_http_in_flight_requests
 }
 
 // sessionEntry initializes its session exactly once, so concurrent first
@@ -115,13 +115,13 @@ func New(engine *graphrep.Engine, opts ...Options) *Server {
 		db:       engine.Database(),
 		opts:     o,
 		sessions: make(map[string]*sessionEntry),
-		requests: reg.MustCounterVec("http_requests_total",
+		requests: reg.MustCounterVec("graphrep_http_requests_total",
 			"HTTP requests received, by endpoint.", "endpoint"),
-		errors: reg.MustCounterVec("http_errors_total",
+		errors: reg.MustCounterVec("graphrep_http_errors_total",
 			"HTTP responses with a 4xx/5xx status, by endpoint.", "endpoint"),
-		latency: reg.MustHistogramVec("http_request_duration_seconds",
+		latency: reg.MustHistogramVec("graphrep_http_request_duration_seconds",
 			"HTTP request latency in seconds, by endpoint.", "endpoint", latencyBuckets),
-		inFlight: reg.MustGauge("http_in_flight_requests",
+		inFlight: reg.MustGauge("graphrep_http_in_flight_requests",
 			"Requests currently being served."),
 	}
 }
@@ -259,8 +259,9 @@ type RelevanceSpec struct {
 	Weights []float64 `json:"weights,omitempty"`
 }
 
-// compile turns a spec into a relevance function.
-func (s *Server) compile(spec RelevanceSpec) (graphrep.Relevance, error) {
+// compileLocked turns a spec into a relevance function. The caller must hold
+// s.mu.RLock: the quartile kind reads feature statistics from the database.
+func (s *Server) compileLocked(spec RelevanceSpec) (graphrep.Relevance, error) {
 	switch spec.Kind {
 	case "quartile":
 		return graphrep.FirstQuartileRelevance(s.db, spec.Dims), nil
@@ -277,8 +278,9 @@ func (s *Server) compile(spec RelevanceSpec) (graphrep.Relevance, error) {
 	}
 }
 
-// session returns a cached session for the spec, creating it on first use.
-// The caller must hold s.mu.RLock (session initialization reads the index).
+// sessionLocked returns a cached session for the spec, creating it on first
+// use. The caller must hold s.mu.RLock (session initialization reads the
+// index), which is what the Locked suffix declares to the lockguard analyzer.
 // Concurrent first requests for one spec share a single initialization via
 // the entry's once; requests for other specs are never blocked by it.
 //
@@ -287,7 +289,7 @@ func (s *Server) compile(spec RelevanceSpec) (graphrep.Relevance, error) {
 // the same context error). A context-cancelled entry is evicted before
 // returning so the next request re-initializes instead of inheriting a
 // permanently poisoned cache slot.
-func (s *Server) session(ctx context.Context, spec RelevanceSpec) (*graphrep.Session, error) {
+func (s *Server) sessionLocked(ctx context.Context, spec RelevanceSpec) (*graphrep.Session, error) {
 	key, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -300,7 +302,7 @@ func (s *Server) session(ctx context.Context, spec RelevanceSpec) (*graphrep.Ses
 	}
 	s.sessMu.Unlock()
 	e.once.Do(func() {
-		rel, err := s.compile(spec)
+		rel, err := s.compileLocked(spec)
 		if err != nil {
 			e.err = err
 			return
@@ -374,7 +376,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	s.mu.RLock()
-	sess, err := s.session(ctx, req.Relevance)
+	sess, err := s.sessionLocked(ctx, req.Relevance)
 	if err != nil {
 		s.mu.RUnlock()
 		writeQueryError(w, r, err)
@@ -417,7 +419,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
 	s.mu.RLock()
-	sess, err := s.session(ctx, req.Relevance)
+	sess, err := s.sessionLocked(ctx, req.Relevance)
 	if err != nil {
 		s.mu.RUnlock()
 		writeQueryError(w, r, err)

@@ -270,16 +270,16 @@ func TestMetricsEndpoint(t *testing.T) {
 		"graphrep_distance_computations_total",
 		"graphrep_distance_cache_hits_total",
 		"graphrep_distance_cache_misses_total",
-		`http_requests_total{endpoint="/query"} 2`,
-		`http_errors_total{endpoint="/query"} 1`,
-		`http_request_duration_seconds_count{endpoint="/query"} 2`,
-		`http_request_duration_seconds_bucket{endpoint="/query",le="+Inf"} 2`,
-		"http_in_flight_requests 1", // the /metrics request itself
-		"nbindex_queries_total 1",
-		"nbindex_pq_pops_bucket",
-		"nbindex_verified_leaves_count 1",
-		"nbindex_candidate_scans_count 1",
-		"nbindex_exact_distances_count 1",
+		`graphrep_http_requests_total{endpoint="/query"} 2`,
+		`graphrep_http_errors_total{endpoint="/query"} 1`,
+		`graphrep_http_request_duration_seconds_count{endpoint="/query"} 2`,
+		`graphrep_http_request_duration_seconds_bucket{endpoint="/query",le="+Inf"} 2`,
+		"graphrep_http_in_flight_requests 1", // the /metrics request itself
+		"graphrep_nbindex_queries_total 1",
+		"graphrep_nbindex_pq_pops_bucket",
+		"graphrep_nbindex_verified_leaves_count 1",
+		"graphrep_nbindex_candidate_scans_count 1",
+		"graphrep_nbindex_exact_distances_count 1",
 		"graphrep_graphs 120",
 	} {
 		if !strings.Contains(out, want) {

@@ -147,9 +147,9 @@ func TestEngineTelemetryExposition(t *testing.T) {
 		"graphrep_distance_cache_entries",
 		"graphrep_graphs 100",
 		"graphrep_index_bytes",
-		"nbindex_queries_total 1",
-		"nbindex_pq_pops_bucket",
-		"nbindex_exact_distances_count 1",
+		"graphrep_nbindex_queries_total 1",
+		"graphrep_nbindex_pq_pops_bucket",
+		"graphrep_nbindex_exact_distances_count 1",
 	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("exposition missing %q:\n%s", name, out)
