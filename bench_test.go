@@ -106,6 +106,54 @@ func BenchmarkBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildShards measures index construction at several shard counts;
+// answers are byte-identical at every count, so the subbenchmarks trade only
+// build wall time (shards build concurrently) and lock granularity.
+func BenchmarkBuildShards(b *testing.B) {
+	db, err := graphrep.GenerateDataset("dud", 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := graphrep.Open(db, graphrep.Options{Seed: 2, Shards: s}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKShards measures steady-state query latency against a session
+// over a multi-shard index (the scatter-gather coordinator path).
+func BenchmarkTopKShards(b *testing.B) {
+	db, err := graphrep.GenerateDataset("dud", 300, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			engine, err := graphrep.Open(db, graphrep.Options{Seed: 2, Shards: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := engine.NewSession(graphrep.FirstQuartileRelevance(db, nil))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.TopK(8, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTopKRepresentative(b *testing.B) {
 	db, err := graphrep.GenerateDataset("dud", 300, 1)
 	if err != nil {

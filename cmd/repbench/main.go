@@ -7,6 +7,8 @@
 //	repbench -list
 //	repbench -exp table4 -scale small
 //	repbench -exp all -scale medium
+//	repbench -bench-shards BENCH_shards.json
+//	repbench -bench-shards smoke.json -shards 2 -bench-n 200
 package main
 
 import (
@@ -20,12 +22,31 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
-		scale = flag.String("scale", "small", "scale: small, medium, or paper")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		out   = flag.String("out", "", "also write output to this file")
+		exp         = flag.String("exp", "all", "experiment id (see -list) or \"all\"")
+		scale       = flag.String("scale", "small", "scale: small, medium, or paper")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		out         = flag.String("out", "", "also write output to this file")
+		benchShard  = flag.String("bench-shards", "", "run the shard build/query benchmark and write the JSON report to this file (skips experiments)")
+		shards      = flag.Int("shards", 0, "with -bench-shards: benchmark only this shard count (0 = the 1/2/4 sweep)")
+		benchShardN = flag.Int("bench-n", 400, "with -bench-shards: benchmark database size")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		usageError("-shards must be >= 0 (0 = the 1/2/4 sweep), got %d", *shards)
+	}
+	if *benchShardN <= 0 {
+		usageError("-bench-n must be >= 1, got %d", *benchShardN)
+	}
+	if *shards > 0 && *benchShard == "" {
+		usageError("-shards requires -bench-shards")
+	}
+
+	if *benchShard != "" {
+		if err := benchShards(os.Stdout, *benchShard, *benchShardN, *shards); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -71,4 +92,13 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repbench:", err)
 	os.Exit(1)
+}
+
+// usageError rejects an invalid flag value: the complaint plus the usage
+// text on stderr, exit status 2 (flag's own convention for bad invocations,
+// distinct from runtime failures, which exit 1 via fatal).
+func usageError(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "repbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -35,6 +35,7 @@ func main() {
 		dotDir      = flag.String("dot", "", "write each answer graph as Graphviz DOT into this directory")
 		stats       = flag.Bool("stats", false, "print telemetry aggregates (distance computations, cache, NB-Index work) after the query")
 		workers     = flag.Int("workers", 0, "worker goroutines for index construction and session init (0 = GOMAXPROCS; the answer is identical for any value)")
+		shards      = flag.Int("shards", 1, "index shards (contiguous ID-range partitions; the answer is identical for any value)")
 	)
 	flag.Parse()
 	if *k <= 0 {
@@ -42,6 +43,9 @@ func main() {
 	}
 	if *workers < 0 {
 		usageError("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *shards < 1 {
+		usageError("-shards must be >= 1, got %d", *shards)
 	}
 	if *theta < 0 {
 		usageError("-theta must be >= 0 (0 = auto), got %g", *theta)
@@ -59,11 +63,12 @@ func main() {
 		st.Graphs, st.AvgNodes, st.AvgEdges, st.Labels)
 
 	start := time.Now()
-	engine, err := graphrep.Open(db, graphrep.Options{Seed: *seed, Workers: *workers})
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: *seed, Workers: *workers, Shards: *shards})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("index built in %v (%.1f KiB)\n", time.Since(start).Round(time.Millisecond), float64(engine.IndexBytes())/1024)
+	fmt.Printf("index built in %v (%.1f KiB, %d shard(s))\n",
+		time.Since(start).Round(time.Millisecond), float64(engine.IndexBytes())/1024, engine.Shards())
 
 	var dims []int
 	if *dim >= 0 {

@@ -40,10 +40,14 @@ func main() {
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 		workers  = flag.Int("workers", 0, "worker goroutines for index construction and session init (0 = GOMAXPROCS; results are identical for any value)")
 		queryTO  = flag.Duration("query-timeout", 0, "per-request deadline for /query and /sweep (0 = none; expired queries answer 504)")
+		shards   = flag.Int("shards", 1, "index shards; inserts write-lock only the last shard, so reads of other shards never wait (answers identical for any value; ignored when loading a stored index, which fixes its own shard count)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		usageError("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *shards < 1 {
+		usageError("-shards must be >= 1, got %d", *shards)
 	}
 	if *queryTO < 0 {
 		usageError("-query-timeout must be >= 0 (0 = none), got %v", *queryTO)
@@ -56,12 +60,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := openEngine(db, *index, *seed, *workers)
+	engine, err := openEngine(db, *index, *seed, *workers, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := db.Stats()
-	log.Printf("serving %d graphs (avg |V|=%.1f) on %s", st.Graphs, st.AvgNodes, *addr)
+	log.Printf("serving %d graphs (avg |V|=%.1f, %d index shard(s)) on %s",
+		st.Graphs, st.AvgNodes, engine.Shards(), *addr)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(engine, server.Options{Pprof: *pprofOn, QueryTimeout: *queryTO}).Handler(),
@@ -109,22 +114,24 @@ func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, err
 	return graphrep.ReadDatabase(f)
 }
 
-// openEngine loads a persisted index when available, otherwise builds one
-// (on up to workers goroutines) and persists it to indexPath (when given).
-func openEngine(db *graphrep.Database, indexPath string, seed int64, workers int) (*graphrep.Engine, error) {
+// openEngine loads a persisted index when available (its stored shard count
+// wins over the -shards flag), otherwise builds one (on up to workers
+// goroutines, split into shards partitions) and persists it to indexPath
+// (when given).
+func openEngine(db *graphrep.Database, indexPath string, seed int64, workers, shards int) (*graphrep.Engine, error) {
 	if indexPath != "" {
 		if f, err := os.Open(indexPath); err == nil {
 			defer f.Close()
 			engine, err := graphrep.OpenWithIndex(db, f, graphrep.Options{Workers: workers})
 			if err == nil {
-				log.Printf("loaded index from %s", indexPath)
+				log.Printf("loaded index from %s (%d shard(s))", indexPath, engine.Shards())
 				return engine, nil
 			}
 			log.Printf("stored index unusable (%v); rebuilding", err)
 		}
 	}
 	start := time.Now()
-	engine, err := graphrep.Open(db, graphrep.Options{Seed: seed, Workers: workers})
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: seed, Workers: workers, Shards: shards})
 	if err != nil {
 		return nil, err
 	}

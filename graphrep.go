@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"graphrep/internal/core"
@@ -48,6 +49,7 @@ import (
 	"graphrep/internal/metric"
 	"graphrep/internal/nbindex"
 	"graphrep/internal/pool"
+	"graphrep/internal/shard"
 	"graphrep/internal/telemetry"
 )
 
@@ -138,6 +140,17 @@ type Options struct {
 	// trades nothing but wall time. Custom metrics must be safe for
 	// concurrent use (the built-in ones are).
 	Workers int
+	// Shards partitions the database into that many contiguous ID ranges,
+	// each owning its own vantage rows and NB-Tree, built concurrently and
+	// queried by a scatter-gather coordinator. Values ≤ 1 mean one shard
+	// (the classic layout); counts beyond the database size are clamped.
+	// Answers are byte-identical for any shard count — shards share one
+	// global vantage point set and θ grid, so bounds compose exactly — while
+	// builds parallelize per shard and internal/server can confine Insert's
+	// write lock to the one shard it lands in. Per-query work counters
+	// (QueryStats) do vary with the shard count, since each count's forest
+	// has its own shape.
+	Shards int
 }
 
 // Engine answers top-k representative queries over one database through an
@@ -147,7 +160,7 @@ type Options struct {
 type Engine struct {
 	db  *Database
 	m   metric.Metric
-	ix  *nbindex.Index
+	set *shard.Set
 	tel *Telemetry
 }
 
@@ -216,7 +229,8 @@ func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, e
 	if branching == 0 {
 		branching = 4
 	}
-	ix, err := nbindex.BuildContext(ctx, db, m, nbindex.Options{
+	set, err := shard.BuildContext(ctx, db, m, shard.Options{
+		Shards:    o.Shards,
 		NumVPs:    numVPs,
 		Branching: branching,
 		ThetaGrid: grid,
@@ -225,11 +239,11 @@ func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, e
 	if err != nil {
 		return nil, err
 	}
-	tel, err := newEngineTelemetry(db, ix, counter, cache, gridTime, o.Workers)
+	tel, err := newEngineTelemetry(db, set, counter, cache, gridTime, o.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db, m: m, ix: ix, tel: tel}, nil
+	return &Engine{db: db, m: m, set: set, tel: tel}, nil
 }
 
 // instrumentMetric wraps the configured metric for observability: a counting
@@ -254,8 +268,17 @@ func instrumentMetric(db *Database, custom Metric) (metric.Metric, *metric.Count
 
 // OpenWithIndex reopens a database with an index previously persisted by
 // SaveIndex, skipping index construction entirely. The database must be the
-// same one the index was built over.
+// same one the index was built over. It is OpenWithIndexContext with no
+// cancellation. Both current (v2, sharded) and pre-shard (v1) index files
+// load; a v1 file comes up as a single shard with identical answers.
 func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) {
+	return OpenWithIndexContext(context.Background(), db, r, opts...)
+}
+
+// OpenWithIndexContext is OpenWithIndex with cancellation: the load observes
+// ctx at every shard-section boundary, so a cancelled or expired context
+// makes it return ctx.Err() promptly with no engine.
+func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts ...Options) (*Engine, error) {
 	if db == nil || db.Len() == 0 {
 		return nil, fmt.Errorf("graphrep: empty database")
 	}
@@ -267,23 +290,33 @@ func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) 
 	if err != nil {
 		return nil, err
 	}
-	ix, err := nbindex.Read(r, db, m)
+	set, err := shard.ReadContext(ctx, r, db, m)
 	if err != nil {
 		return nil, err
 	}
 	// No construction happened, but session initialization still fans out;
 	// honor the Workers option for it. Build-phase gauges read as zero.
-	ix.SetWorkers(o.Workers)
-	tel, err := newEngineTelemetry(db, ix, counter, cache, 0, o.Workers)
+	set.SetWorkers(o.Workers)
+	tel, err := newEngineTelemetry(db, set, counter, cache, 0, o.Workers)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{db: db, m: m, ix: ix, tel: tel}, nil
+	return &Engine{db: db, m: m, set: set, tel: tel}, nil
 }
 
 // SaveIndex persists the engine's NB-Index so a later OpenWithIndex can skip
-// construction (the offline step of Fig. 6(k)).
-func (e *Engine) SaveIndex(w io.Writer) error { return e.ix.Encode(w) }
+// construction (the offline step of Fig. 6(k)). The format (v2) records every
+// shard; OpenWithIndex restores the same shard layout.
+func (e *Engine) SaveIndex(w io.Writer) error { return e.set.Encode(w) }
+
+// Shards returns the number of index shards (1 unless Options.Shards asked
+// for more, or the loaded index file recorded more).
+func (e *Engine) Shards() int { return e.set.Shards() }
+
+// ShardFor returns the index (0 ≤ p < Shards()) of the shard owning graph
+// id. Inserts always land in the last shard; internal/server uses this to
+// scope read locks to the one shard a request touches.
+func (e *Engine) ShardFor(id ID) int { return e.set.PartFor(id) }
 
 // Insert appends a graph to the database and extends the index
 // incrementally — |V| vantage distances plus a tree descent instead of a
@@ -302,7 +335,12 @@ func (e *Engine) Insert(g *Graph) error {
 	if err := e.db.Append(g); err != nil {
 		return err
 	}
-	return e.ix.Insert(g.ID())
+	if err := e.set.Insert(g.ID()); err != nil {
+		return err
+	}
+	// Only the last shard grew; refresh its gauges.
+	e.tel.setShardGauges(e.set, e.set.Shards()-1)
+	return nil
 }
 
 // QueryStats describes the work one indexed TopK call performed: priority
@@ -324,6 +362,18 @@ type Telemetry struct {
 	counter *metric.Counter
 	cache   *metric.Cache // nil when a custom metric is configured
 	nb      *nbindex.Telemetry
+	// Per-shard gauges, labelled by decimal shard index. Values are set at
+	// Open and refreshed for the last shard by Insert.
+	shardGraphs *telemetry.GaugeVec
+	shardBytes  *telemetry.GaugeVec
+}
+
+// setShardGauges refreshes shard p's size gauges from the set.
+func (t *Telemetry) setShardGauges(set *shard.Set, p int) {
+	label := strconv.Itoa(p)
+	part := set.Part(p)
+	t.shardGraphs.With(label).Set(float64(part.Count()))
+	t.shardBytes.With(label).Set(float64(part.Bytes()))
 }
 
 // newEngineTelemetry builds the engine's metric registry: distance-layer
@@ -331,9 +381,10 @@ type Telemetry struct {
 // gauges, build-phase wall times, and the nbindex per-query work
 // histograms. gridTime is the θ-grid sampling phase (measured by Open,
 // which runs it before Build); workers is the configured Options.Workers.
-func newEngineTelemetry(db *Database, ix *nbindex.Index, counter *metric.Counter, cache *metric.Cache, gridTime time.Duration, workers int) (*Telemetry, error) {
+func newEngineTelemetry(db *Database, set *shard.Set, counter *metric.Counter, cache *metric.Cache, gridTime time.Duration, workers int) (*Telemetry, error) {
 	reg := telemetry.NewRegistry()
 	t := &Telemetry{reg: reg, counter: counter, cache: cache}
+	var err error
 	if err := reg.NewCounterFunc("graphrep_distance_computations_total",
 		"Exact graph distance computations issued (including index construction).",
 		counter.Count); err != nil {
@@ -361,14 +412,39 @@ func newEngineTelemetry(db *Database, ix *nbindex.Index, counter *metric.Counter
 	}
 	if err := reg.NewGaugeFunc("graphrep_index_bytes",
 		"Approximate NB-Index memory footprint.",
-		func() float64 { return float64(ix.Bytes()) }); err != nil {
+		func() float64 { return float64(set.Bytes()) }); err != nil {
 		return nil, err
+	}
+	if err := reg.NewGaugeFunc("graphrep_shards",
+		"Index shards (contiguous ID-range partitions).",
+		func() float64 { return float64(set.Shards()) }); err != nil {
+		return nil, err
+	}
+	t.shardGraphs, err = reg.NewGaugeVec("graphrep_shard_graphs",
+		"Graphs owned by each index shard.", "shard")
+	if err != nil {
+		return nil, err
+	}
+	t.shardBytes, err = reg.NewGaugeVec("graphrep_shard_index_bytes",
+		"Approximate memory footprint of each index shard.", "shard")
+	if err != nil {
+		return nil, err
+	}
+	shardBuild, err := reg.NewGaugeVec("graphrep_shard_build_seconds",
+		"Wall time spent building each shard's vantage rows and NB-Tree.", "shard")
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < set.Shards(); p++ {
+		t.setShardGauges(set, p)
+		pt := set.Part(p).Timing()
+		shardBuild.With(strconv.Itoa(p)).Set((pt.Vantage + pt.Tree).Seconds())
 	}
 	// Build-phase wall times: fixed after Open, so the closures capture the
 	// computed values. All zero when the index was loaded from disk. Each
 	// registration passes its name as a literal so the metricname analyzer can
 	// audit the full namespace at build time.
-	timing := ix.Timing()
+	timing := set.Timing()
 	secsGauge := func(d time.Duration) func() float64 {
 		secs := d.Seconds()
 		return func() float64 { return secs }
@@ -407,7 +483,7 @@ func newEngineTelemetry(db *Database, ix *nbindex.Index, counter *metric.Counter
 	if err != nil {
 		return nil, err
 	}
-	ix.SetTelemetry(nb)
+	set.SetTelemetry(nb)
 	t.nb = nb
 	return t, nil
 }
@@ -491,7 +567,7 @@ func sanityCheckMetric(db *Database, m metric.Metric) error {
 func (e *Engine) Database() *Database { return e.db }
 
 // IndexBytes approximates the index memory footprint.
-func (e *Engine) IndexBytes() int64 { return e.ix.Bytes() }
+func (e *Engine) IndexBytes() int64 { return e.set.Bytes() }
 
 // TopKRepresentative answers q through the NB-Index. For repeated queries
 // with the same relevance function, use NewSession instead.
@@ -506,7 +582,7 @@ func (e *Engine) TopKRepresentativeContext(ctx context.Context, q Query) (*Resul
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	s, err := e.ix.NewSessionContext(ctx, q.Relevance)
+	s, err := e.set.NewSessionContext(ctx, q.Relevance)
 	if err != nil {
 		return nil, err
 	}
@@ -565,7 +641,7 @@ func (e *Engine) Explain(rel Relevance, answer []ID, theta float64) map[ID][]ID 
 // Session is the reusable initialization for one relevance function: any
 // number of TopK calls at different θ (interactive refinement) amortize it.
 type Session struct {
-	s *nbindex.Session
+	s shard.QuerySession
 }
 
 // NewSession prepares a session for the relevance function.
@@ -580,7 +656,7 @@ func (e *Engine) NewSessionContext(ctx context.Context, rel Relevance) (*Session
 	if rel == nil {
 		return nil, fmt.Errorf("graphrep: nil relevance function")
 	}
-	s, err := e.ix.NewSessionContext(ctx, rel)
+	s, err := e.set.NewSessionContext(ctx, rel)
 	if err != nil {
 		return nil, err
 	}

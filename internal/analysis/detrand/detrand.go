@@ -29,6 +29,7 @@ import (
 // engine facade plus every package on the index build and query paths.
 var ScopePackages = map[string]bool{
 	"graphrep": true,
+	"shard":    true,
 	"nbindex":  true,
 	"nbtree":   true,
 	"vantage":  true,
@@ -41,7 +42,7 @@ var ScopePackages = map[string]bool{
 var Analyzer = &framework.Analyzer{
 	Name: "detrand",
 	Doc: "forbid global math/rand state and time.Now in the deterministic " +
-		"build/query packages (graphrep, nbindex, nbtree, vantage, mtree, metric, core)",
+		"build/query packages (graphrep, shard, nbindex, nbtree, vantage, mtree, metric, core)",
 	Run: run,
 }
 

@@ -41,11 +41,13 @@ var registerMethods = map[string]bool{
 	"NewCounterVec":    true,
 	"NewGauge":         true,
 	"NewGaugeFunc":     true,
+	"NewGaugeVec":      true,
 	"NewHistogram":     true,
 	"NewHistogramVec":  true,
 	"MustCounter":      true,
 	"MustCounterVec":   true,
 	"MustGauge":        true,
+	"MustGaugeVec":     true,
 	"MustHistogram":    true,
 	"MustHistogramVec": true,
 }

@@ -15,6 +15,8 @@ func register(r *telemetry.Registry, dynamic string) {
 	_, _ = r.NewHistogram("graphrep_latency_seconds", "ok", []float64{1})
 	r.MustCounter(constName, "constants are fine")
 	_ = r.NewGaugeFunc("graphrep_ratio", "ok", func() float64 { return 0 })
+	_, _ = r.NewGaugeVec("graphrep_shard_graphs", "ok", "shard")
+	r.MustGaugeVec("graphrep_Shard_bytes", "upper case", "shard") // want `metric name "graphrep_Shard_bytes" must match`
 
 	r.MustCounter("http_requests_total", "missing prefix") // want `metric name "http_requests_total" must match`
 	r.MustGauge("graphrep_BadCase", "upper case")          // want `metric name "graphrep_BadCase" must match`

@@ -9,6 +9,7 @@ type (
 	Gauge        struct{}
 	Histogram    struct{}
 	CounterVec   struct{}
+	GaugeVec     struct{}
 	HistogramVec struct{}
 )
 
@@ -29,6 +30,8 @@ func (r *Registry) MustCounter(name, help string) *Counter                      
 func (r *Registry) MustGauge(name, help string) *Gauge                           { return nil }
 func (r *Registry) MustHistogram(name, help string, bounds []float64) *Histogram { return nil }
 func (r *Registry) MustCounterVec(name, help, label string) *CounterVec          { return nil }
+func (r *Registry) NewGaugeVec(name, help, label string) (*GaugeVec, error)      { return nil, nil }
+func (r *Registry) MustGaugeVec(name, help, label string) *GaugeVec              { return nil }
 func (r *Registry) MustHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
 	return nil
 }

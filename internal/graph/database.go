@@ -3,17 +3,28 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Database is an ordered collection of graphs. Graph IDs equal their position
 // in the collection; every index structure in this library addresses graphs
 // by ID.
+//
+// The collection is copy-on-write: Append publishes a fresh slice instead of
+// mutating the current one, so any number of readers may run concurrently
+// with one Append and each sees either the old or the new snapshot, never a
+// torn one. Concurrent Appends must still be serialized by the caller
+// (internal/server holds the last shard's write lock around each insert).
 type Database struct {
-	graphs []*Graph
+	graphs atomic.Pointer[[]*Graph]
 }
 
+// snapshot returns the current immutable graph slice.
+func (db *Database) snapshot() []*Graph { return *db.graphs.Load() }
+
 // NewDatabase assembles a database from graphs whose IDs must equal their
-// slice positions.
+// slice positions. The database takes ownership of the slice; the caller must
+// not modify it afterwards.
 func NewDatabase(graphs []*Graph) (*Database, error) {
 	for i, g := range graphs {
 		if g == nil {
@@ -23,49 +34,59 @@ func NewDatabase(graphs []*Graph) (*Database, error) {
 			return nil, fmt.Errorf("graph: graph at position %d has id %d", i, g.ID())
 		}
 	}
-	return &Database{graphs: graphs}, nil
+	db := &Database{}
+	db.graphs.Store(&graphs)
+	return db, nil
 }
 
 // Len returns the number of graphs.
-func (db *Database) Len() int { return len(db.graphs) }
+func (db *Database) Len() int { return len(db.snapshot()) }
 
 // Append adds a graph to the end of the database. Its ID must equal the
-// current length and its feature dimensionality must match. Append is not
-// safe to call concurrently with queries against the database.
+// current length and its feature dimensionality must match. Append copies the
+// graph slice and atomically publishes the copy, so it is safe to run
+// concurrently with readers; concurrent Appends must be serialized by the
+// caller.
 func (db *Database) Append(g *Graph) error {
+	cur := db.snapshot()
 	if g == nil {
 		return fmt.Errorf("graph: nil graph")
 	}
-	if int(g.ID()) != len(db.graphs) {
-		return fmt.Errorf("graph: appended graph has id %d, want %d", g.ID(), len(db.graphs))
+	if int(g.ID()) != len(cur) {
+		return fmt.Errorf("graph: appended graph has id %d, want %d", g.ID(), len(cur))
 	}
-	if len(db.graphs) > 0 && len(g.Features()) != db.FeatureDim() {
-		return fmt.Errorf("graph: appended feature dim %d, want %d", len(g.Features()), db.FeatureDim())
+	if len(cur) > 0 && len(g.Features()) != len(cur[0].Features()) {
+		return fmt.Errorf("graph: appended feature dim %d, want %d", len(g.Features()), len(cur[0].Features()))
 	}
-	db.graphs = append(db.graphs, g)
+	next := make([]*Graph, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = g
+	db.graphs.Store(&next)
 	return nil
 }
 
 // Graph returns the graph with the given id.
-func (db *Database) Graph(id ID) *Graph { return db.graphs[id] }
+func (db *Database) Graph(id ID) *Graph { return db.snapshot()[id] }
 
-// Graphs returns the underlying slice. The caller must not modify it.
-func (db *Database) Graphs() []*Graph { return db.graphs }
+// Graphs returns the current snapshot slice. The caller must not modify it;
+// graphs appended later do not appear in it.
+func (db *Database) Graphs() []*Graph { return db.snapshot() }
 
 // FeatureDim returns the dimensionality of the feature vectors, or 0 for an
 // empty database. All graphs are expected to share one dimensionality.
 func (db *Database) FeatureDim() int {
-	if len(db.graphs) == 0 {
+	g := db.snapshot()
+	if len(g) == 0 {
 		return 0
 	}
-	return len(db.graphs[0].Features())
+	return len(g[0].Features())
 }
 
 // Validate checks structural invariants of the database: consistent feature
 // dimensionality and well-formed graphs.
 func (db *Database) Validate() error {
 	dim := db.FeatureDim()
-	for _, g := range db.graphs {
+	for _, g := range db.snapshot() {
 		if len(g.Features()) != dim {
 			return fmt.Errorf("graph %d: feature dim %d, want %d", g.ID(), len(g.Features()), dim)
 		}
@@ -96,9 +117,10 @@ type Stats struct {
 // Stats computes summary statistics over the database.
 func (db *Database) Stats() Stats {
 	var s Stats
-	s.Graphs = len(db.graphs)
+	graphs := db.snapshot()
+	s.Graphs = len(graphs)
 	labels := make(map[Label]struct{})
-	for _, g := range db.graphs {
+	for _, g := range graphs {
 		s.AvgNodes += float64(g.Order())
 		s.AvgEdges += float64(g.Size())
 		if g.Order() > s.MaxNodes {

@@ -20,7 +20,7 @@ import (
 // WriteDatabase writes db in the text format.
 func WriteDatabase(w io.Writer, db *Database) error {
 	bw := bufio.NewWriter(w)
-	for _, g := range db.graphs {
+	for _, g := range db.snapshot() {
 		if err := writeGraph(bw, g); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package nbindex
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -11,6 +12,18 @@ import (
 	"graphrep/internal/vantage"
 )
 
+// exactReader returns a reader gob decodes exactly — one implementing
+// io.ByteReader, which stops encoding/gob from wrapping the stream in its own
+// read-ahead buffer and swallowing bytes that belong to the next section.
+// Readers that already support byte-at-a-time reads (bytes.Reader,
+// bufio.Reader, ...) pass through; anything else gets one shared buffer.
+func exactReader(r io.Reader) io.Reader {
+	if _, ok := r.(io.ByteReader); ok {
+		return r
+	}
+	return bufio.NewReader(r)
+}
+
 // Serialization layout: a small header, the θ grid, then the vantage
 // ordering and NB-Tree snapshots (each length-prefixed gob). The database
 // and metric are not serialized — the caller re-supplies them on load, as
@@ -18,9 +31,15 @@ import (
 
 var indexMagic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '1'}
 
-// Encode persists the index. The paper treats index construction as an
-// offline step (Fig. 6(k)); persistence makes it a one-time one.
+// Encode persists the index in the v1 (single, full-database) layout. The
+// paper treats index construction as an offline step (Fig. 6(k));
+// persistence makes it a one-time one. Shard parts are persisted through
+// internal/shard's v2 container instead.
 func (ix *Index) Encode(w io.Writer) error {
+	if ix.base != 0 || ix.vo.Len() != ix.db.Len() {
+		return fmt.Errorf("nbindex: v1 encoding requires a full-database index, this one covers [%d, %d); use shard.Set.Encode",
+			ix.base, int(ix.base)+ix.vo.Len())
+	}
 	if _, err := w.Write(indexMagic[:]); err != nil {
 		return err
 	}
@@ -41,6 +60,7 @@ func (ix *Index) Encode(w io.Writer) error {
 // (same graphs, same IDs) and an equivalent metric; Read validates what it
 // can cheaply (sizes and ID ranges).
 func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Index, error) {
+	r = exactReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("nbindex: read header: %w", err)
@@ -80,6 +100,47 @@ func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Index, error) {
 				return nil, fmt.Errorf("nbindex: leaf references graph %d outside database", n.Centroid)
 			}
 			ix.leafOf[n.Centroid] = n.Idx
+		}
+	}
+	return ix, nil
+}
+
+// EncodePart persists only the index's vantage ordering and NB-Tree, with no
+// header — the per-shard section of internal/shard's v2 container, which
+// carries the magic, grid, and shard ranges itself.
+func (ix *Index) EncodePart(w io.Writer) error {
+	if err := ix.vo.Encode(w); err != nil {
+		return err
+	}
+	return ix.tree.Encode(w)
+}
+
+// ReadPart loads one shard's section written by EncodePart, reattaching it
+// to the database, metric, and shared grid. The declared range [base,
+// base+count) is validated against the decoded ordering and tree.
+func ReadPart(r io.Reader, db *graph.Database, m metric.Metric, grid []float64, base graph.ID, count int) (*Index, error) {
+	vo, err := vantage.ReadOrdering(r)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := nbtree.ReadTree(r)
+	if err != nil {
+		return nil, err
+	}
+	if vo.Base() != base || vo.Len() != count {
+		return nil, fmt.Errorf("nbindex: shard section covers [%d, %d), header declares [%d, %d)",
+			vo.Base(), int(vo.Base())+vo.Len(), base, int(base)+count)
+	}
+	if tree.Root().Size != count {
+		return nil, fmt.Errorf("nbindex: shard tree covers %d graphs, header declares %d", tree.Root().Size, count)
+	}
+	ix := &Index{db: db, m: m, vo: vo, tree: tree, grid: append([]float64(nil), grid...), base: base, leafOf: make([]int, count)}
+	for _, n := range tree.Nodes() {
+		if n.Leaf {
+			if n.Centroid < base || int(n.Centroid-base) >= count {
+				return nil, fmt.Errorf("nbindex: leaf references graph %d outside shard [%d, %d)", n.Centroid, base, int(base)+count)
+			}
+			ix.leafOf[n.Centroid-base] = n.Idx
 		}
 	}
 	return ix, nil

@@ -73,7 +73,9 @@ func DefaultOptions(grid []float64) Options {
 	return Options{NumVPs: 8, Branching: 4, ThetaGrid: grid}
 }
 
-// Index is an immutable NB-Index over a database. Build once per database;
+// Index is an immutable NB-Index over a database — either the whole of it
+// (BuildContext, base 0) or one shard's contiguous ID range (BuildPartContext;
+// internal/shard coordinates several such parts). Build once per database;
 // relevance functions and θ are supplied at query time.
 type Index struct {
 	db   *graph.Database
@@ -81,7 +83,10 @@ type Index struct {
 	vo   *vantage.Ordering
 	tree *nbtree.Tree
 	grid []float64
-	// leafOf maps a graph ID to its leaf node index in tree.Nodes().
+	// base is the first graph ID covered; 0 for a full-database index.
+	base graph.ID
+	// leafOf maps a covered graph ID (offset by base) to its leaf node index
+	// in tree.Nodes().
 	leafOf []int
 	// workers bounds session-initialization goroutines; ≤ 0 means GOMAXPROCS.
 	workers int
@@ -141,17 +146,45 @@ func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt 
 		return nil, err
 	}
 	tVPs := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
-	vo, err := vantage.BuildContext(ctx, db, m, vps, opt.Workers)
+	ix, err := BuildPartContext(ctx, db, m, vps, opt.ThetaGrid, 0, db.Len(), opt.Branching, opt.Workers, rng)
+	if err != nil {
+		return nil, err
+	}
+	ix.timing.VPSelect = tVPs.Sub(start)
+	ix.timing.Total += ix.timing.VPSelect
+	return ix, nil
+}
+
+// BuildPartContext constructs an NB-Index over the contiguous ID range
+// [base, base+count) of db with an externally chosen vantage point set and θ
+// grid. This is the shard build path: every shard shares one global VP set
+// (so embedding coordinates are comparable across shards) and one global
+// grid, while owning its own vantage rows and NB-Tree. BuildContext is the
+// base=0, count=n special case with the VPs selected internally. rng drives
+// only the NB-Tree pivot draws; pass a per-shard seeded source for
+// reproducible shard builds.
+func BuildPartContext(ctx context.Context, db *graph.Database, m metric.Metric, vps []graph.ID, grid []float64, base graph.ID, count, branching, workers int, rng *rand.Rand) (*Index, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("nbindex: empty theta grid")
+	}
+	if !sort.Float64sAreSorted(grid) {
+		return nil, fmt.Errorf("nbindex: theta grid not ascending")
+	}
+	start := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
+	vo, err := vantage.BuildRangeContext(ctx, db, m, vps, base, count, workers)
 	if err != nil {
 		return nil, err
 	}
 	tVO := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
-	branching := opt.Branching
 	if branching < 2 {
 		branching = 4
 	}
-	tree, err := nbtree.BuildContext(ctx, db, m,
-		nbtree.Options{Branching: branching, VO: vo, Workers: opt.Workers}, rng)
+	ids := make([]graph.ID, count)
+	for i := range ids {
+		ids[i] = base + graph.ID(i)
+	}
+	tree, err := nbtree.BuildSubsetContext(ctx, db, m, ids,
+		nbtree.Options{Branching: branching, VO: vo, Workers: workers}, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -161,19 +194,19 @@ func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt 
 		m:       m,
 		vo:      vo,
 		tree:    tree,
-		grid:    append([]float64(nil), opt.ThetaGrid...),
-		workers: opt.Workers,
+		grid:    append([]float64(nil), grid...),
+		base:    base,
+		workers: workers,
 		timing: BuildTiming{
-			VPSelect: tVPs.Sub(start),
-			Vantage:  tVO.Sub(tVPs),
-			Tree:     done.Sub(tVO),
-			Total:    done.Sub(start),
+			Vantage: tVO.Sub(start),
+			Tree:    done.Sub(tVO),
+			Total:   done.Sub(start),
 		},
 		leafOf: func() []int {
-			l := make([]int, db.Len())
+			l := make([]int, count)
 			for _, n := range tree.Nodes() {
 				if n.Leaf {
-					l[n.Centroid] = n.Idx
+					l[n.Centroid-base] = n.Idx
 				}
 			}
 			return l
@@ -191,15 +224,17 @@ func (ix *Index) Timing() BuildTiming { return ix.timing }
 func (ix *Index) SetWorkers(w int) { ix.workers = w }
 
 // Insert extends the index with a graph already appended to the database
-// (its ID must be the database's last). Costs |V| vantage distances plus a
-// tree descent. Sessions created before an Insert do not see the new graph;
-// create a fresh Session afterwards. Not safe concurrently with queries.
+// (its ID must be the database's last, and this index must be the one whose
+// range ends there — the last shard, in sharded deployments). Costs |V|
+// vantage distances plus a tree descent. Sessions created before an Insert
+// do not see the new graph; create a fresh Session afterwards. Not safe
+// concurrently with queries.
 func (ix *Index) Insert(id graph.ID) error {
 	if int(id) != ix.db.Len()-1 {
 		return fmt.Errorf("nbindex: inserting id %d, want the database's last id %d", id, ix.db.Len()-1)
 	}
-	if int(id) != ix.vo.Len() {
-		return fmt.Errorf("nbindex: index already covers id %d", id)
+	if int(id-ix.base) != ix.vo.Len() {
+		return fmt.Errorf("nbindex: inserting id %d, index covers [%d, %d)", id, ix.base, int(ix.base)+ix.vo.Len())
 	}
 	if err := ix.vo.Insert(id, ix.m); err != nil {
 		return err
@@ -211,7 +246,7 @@ func (ix *Index) Insert(id graph.ID) error {
 	ix.leafOf = append(ix.leafOf, 0)
 	for _, n := range ix.tree.Nodes() {
 		if n.Leaf {
-			ix.leafOf[n.Centroid] = n.Idx
+			ix.leafOf[n.Centroid-ix.base] = n.Idx
 		}
 	}
 	return nil
@@ -225,6 +260,15 @@ func (ix *Index) VO() *vantage.Ordering { return ix.vo }
 
 // Grid returns the indexed thresholds.
 func (ix *Index) Grid() []float64 { return ix.grid }
+
+// Base returns the first graph ID the index covers (0 for a full index).
+func (ix *Index) Base() graph.ID { return ix.base }
+
+// Count returns the number of graphs the index covers.
+func (ix *Index) Count() int { return ix.vo.Len() }
+
+// LeafIdx returns the tree node index of the leaf holding covered graph id.
+func (ix *Index) LeafIdx(id graph.ID) int { return ix.leafOf[id-ix.base] }
 
 // Bytes approximates the index memory footprint: vantage orderings plus the
 // NB-Tree (Fig. 6(l)).
@@ -309,6 +353,10 @@ func (ix *Index) NewSessionAt(q core.Relevance, theta float64) *Session {
 }
 
 func (ix *Index) newSession(ctx context.Context, q core.Relevance, grid []float64) (*Session, error) {
+	if ix.base != 0 || ix.vo.Len() != ix.db.Len() {
+		return nil, fmt.Errorf("nbindex: sessions require a full-database index, this one covers [%d, %d); use internal/shard's coordinator for parts",
+			ix.base, int(ix.base)+ix.vo.Len())
+	}
 	s := &Session{ix: ix, grid: grid, batchUpdates: true}
 	s.rel = core.Relevant(ix.db, q)
 	s.relPos = make([]int, ix.db.Len())
@@ -351,7 +399,7 @@ func (ix *Index) newSession(ctx context.Context, q core.Relevance, grid []float6
 						row[t]++
 					}
 				}
-				s.piHat[ix.leafOf[id]] = row
+				s.piHat[ix.LeafIdx(id)] = row
 			}
 		})
 		if err != nil {
@@ -419,7 +467,7 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 		s.statsMu.Lock()
 		s.lastStats = st
 		s.statsMu.Unlock()
-		ix.tel.Load().observe(st)
+		ix.tel.Load().Observe(st)
 	}
 	if len(s.rel) == 0 {
 		finish()
@@ -478,7 +526,7 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 	// applyCredit records that relevant graph id became covered: one credit
 	// at its highest diameter ≤ θ ancestor, with F recomputed upward.
 	applyCredit := func(id graph.ID) {
-		leaf := nodes[ix.leafOf[id]]
+		leaf := nodes[ix.LeafIdx(id)]
 		a := leaf
 		for p := a.Parent; p != nil && p.Diameter <= theta; p = p.Parent {
 			a = p

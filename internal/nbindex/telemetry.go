@@ -53,9 +53,11 @@ func NewTelemetry(r *telemetry.Registry) (*Telemetry, error) {
 	return t, nil
 }
 
-// observe folds one query's stats in. Nil-safe so the query path needs no
-// branch at the call site beyond the method call itself.
-func (t *Telemetry) observe(st QueryStats) {
+// Observe folds one query's stats in. Nil-safe so the query path needs no
+// branch at the call site beyond the method call itself. Exported for the
+// internal/shard coordinator, whose scatter-gather TopK reports through the
+// same aggregator as single-index sessions.
+func (t *Telemetry) Observe(st QueryStats) {
 	if t == nil {
 		return
 	}

@@ -84,18 +84,29 @@ func Build(db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*T
 // chunks inside a partition; a cancelled build returns ctx.Err() with no
 // partial tree.
 func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, opt Options, rng *rand.Rand) (*Tree, error) {
-	if opt.Branching < 2 {
-		return nil, fmt.Errorf("nbtree: branching factor %d < 2", opt.Branching)
-	}
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("nbtree: empty database")
 	}
-	b := &builder{ctx: ctx, db: db, m: m, opt: opt, rng: rng}
 	ids := make([]graph.ID, db.Len())
 	for i := range ids {
 		ids[i] = graph.ID(i)
 	}
-	root, err := b.build(ids)
+	return BuildSubsetContext(ctx, db, m, ids, opt, rng)
+}
+
+// BuildSubsetContext clusters an arbitrary subset of db's graphs into an
+// NB-Tree — a shard's contiguous ID range, say. The clustering machinery is
+// identical to BuildContext (which is the full-subset special case); opt.VO
+// only needs to cover the subset's IDs. The ids slice is not retained.
+func BuildSubsetContext(ctx context.Context, db *graph.Database, m metric.Metric, ids []graph.ID, opt Options, rng *rand.Rand) (*Tree, error) {
+	if opt.Branching < 2 {
+		return nil, fmt.Errorf("nbtree: branching factor %d < 2", opt.Branching)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("nbtree: empty subset")
+	}
+	b := &builder{ctx: ctx, db: db, m: m, opt: opt, rng: rng}
+	root, err := b.build(append([]graph.ID(nil), ids...))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"graphrep/internal/graph"
+	"graphrep/internal/metric"
+	"graphrep/internal/nbindex"
+)
+
+// Serialization layout, format v2 (sharded): the magic, the shared θ grid,
+// the shard count, then one section per shard — its declared [base,
+// base+count) range followed by the vantage ordering and NB-Tree snapshots.
+// v1 files (the pre-shard single-index layout, magic NBIDX001) are still
+// accepted and load as a single shard, unchanged.
+
+var setMagic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '2'}
+var v1Magic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '1'}
+
+// Encode persists the set in the v2 sharded layout. Output bytes are a pure
+// function of the set's contents — shard sections are written in shard
+// order — so they are identical for any build worker count.
+func (s *Set) Encode(w io.Writer) error {
+	if _, err := w.Write(setMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(s.grid))); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, s.grid); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(s.parts))); err != nil {
+		return err
+	}
+	for _, part := range s.parts {
+		if err := binary.Write(w, binary.LittleEndian, int64(part.Base())); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, int64(part.Count())); err != nil {
+			return err
+		}
+		if err := part.EncodePart(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read loads a set written by Encode (v2) or by the pre-shard single-index
+// Encode (v1, loaded as one shard) with no cancellation. See ReadContext.
+func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Set, error) {
+	return ReadContext(context.Background(), r, db, m)
+}
+
+// ReadContext loads a persisted set, reattaching it to the database and
+// metric it was built over. Cancellation is observed at every shard-section
+// boundary — a cancelled load returns ctx.Err() with no set — which is what
+// makes OpenWithIndexContext abortable between shard loads.
+func ReadContext(ctx context.Context, r io.Reader, db *graph.Database, m metric.Metric) (*Set, error) {
+	// Buffer the stream once so every gob section below decodes exactly (an
+	// io.ByteReader keeps encoding/gob from adding its own read-ahead buffer
+	// and consuming the next section's bytes).
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("shard: read header: %w", err)
+	}
+	if magic == v1Magic {
+		// v1: a single full-database index. nbindex.Read expects the magic
+		// it knows, so hand the consumed bytes back.
+		ix, err := nbindex.Read(io.MultiReader(bytes.NewReader(magic[:]), r), db, m)
+		if err != nil {
+			return nil, err
+		}
+		return &Set{db: db, m: m, grid: ix.Grid(), parts: []*nbindex.Index{ix}}, nil
+	}
+	if magic != setMagic {
+		return nil, fmt.Errorf("shard: bad magic %q", magic[:])
+	}
+	var gridLen int64
+	if err := binary.Read(r, binary.LittleEndian, &gridLen); err != nil {
+		return nil, fmt.Errorf("shard: read grid length: %w", err)
+	}
+	if gridLen <= 0 || gridLen > 1<<20 {
+		return nil, fmt.Errorf("shard: implausible grid length %d", gridLen)
+	}
+	grid := make([]float64, gridLen)
+	if err := binary.Read(r, binary.LittleEndian, grid); err != nil {
+		return nil, fmt.Errorf("shard: read grid: %w", err)
+	}
+	var shardCount int64
+	if err := binary.Read(r, binary.LittleEndian, &shardCount); err != nil {
+		return nil, fmt.Errorf("shard: read shard count: %w", err)
+	}
+	if shardCount <= 0 || shardCount > int64(db.Len()) {
+		return nil, fmt.Errorf("shard: implausible shard count %d for %d graphs", shardCount, db.Len())
+	}
+	s := &Set{db: db, m: m, grid: grid, parts: make([]*nbindex.Index, shardCount)}
+	next := graph.ID(0)
+	for p := range s.parts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var base, count int64
+		if err := binary.Read(r, binary.LittleEndian, &base); err != nil {
+			return nil, fmt.Errorf("shard: read shard %d header: %w", p, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+			return nil, fmt.Errorf("shard: read shard %d header: %w", p, err)
+		}
+		if graph.ID(base) != next || count <= 0 {
+			return nil, fmt.Errorf("shard: shard %d declares [%d, %d), want contiguous from %d", p, base, base+count, next)
+		}
+		part, err := nbindex.ReadPart(r, db, m, grid, graph.ID(base), int(count))
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", p, err)
+		}
+		s.parts[p] = part
+		next += graph.ID(count)
+	}
+	if int(next) != db.Len() {
+		return nil, fmt.Errorf("shard: set covers %d graphs, database has %d", next, db.Len())
+	}
+	return s, nil
+}

@@ -1,0 +1,434 @@
+package shard
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"graphrep/internal/bitset"
+	"graphrep/internal/core"
+	"graphrep/internal/graph"
+	"graphrep/internal/nbindex"
+	"graphrep/internal/nbtree"
+	"graphrep/internal/pool"
+)
+
+// QuerySession is the query-time surface shared by the single-shard session
+// (nbindex.Session, used when the set has one shard) and the multi-shard
+// coordinator session. Engines program against this interface so the shard
+// count never leaks into the query API.
+type QuerySession interface {
+	TopK(theta float64, k int) (*core.Result, error)
+	TopKContext(ctx context.Context, theta float64, k int) (*core.Result, error)
+	SweepTheta(k int, extra ...float64) ([]nbindex.ThetaPoint, error)
+	SweepThetaContext(ctx context.Context, k int, extra ...float64) ([]nbindex.ThetaPoint, error)
+	LastStats() nbindex.QueryStats
+	RelevantCount() int
+	PiHatBytes() int64
+}
+
+// NewSession runs the initialization phase for relevance function q. See
+// NewSessionContext.
+func (s *Set) NewSession(q core.Relevance) (QuerySession, error) {
+	return s.NewSessionContext(context.Background(), q)
+}
+
+// NewSessionContext runs the initialization phase for relevance function q:
+// one global π̂ row per relevant graph, assembled by scanning every shard's
+// vantage ordering with the graph's shared-VP coordinates. With one shard it
+// returns the plain nbindex session (identical behavior and stats to the
+// unsharded engine); with more it returns the scatter-gather coordinator.
+func (s *Set) NewSessionContext(ctx context.Context, q core.Relevance) (QuerySession, error) {
+	if len(s.parts) == 1 {
+		return s.parts[0].NewSessionContext(ctx, q)
+	}
+	return newCoordSession(ctx, s, q)
+}
+
+// coordSession is the coordinator's initialization state for one relevance
+// function: the global π̂ row of every relevant graph, stored at the graph's
+// leaf in its home shard's tree. After initialization it is read-only apart
+// from the mutex-guarded LastStats bookkeeping, so concurrent TopK calls are
+// safe, exactly like nbindex.Session.
+type coordSession struct {
+	set  *Set
+	grid []float64
+	rel  []graph.ID
+	// relPos maps a database ID to its position in rel, or −1.
+	relPos []int
+	// piHat[p][leafNodeIdx] is the GLOBAL π̂ row (summed across shards) of
+	// the leaf's graph in shard p's tree; nil rows for irrelevant leaves.
+	piHat     [][][]int32
+	statsMu   sync.Mutex
+	lastStats nbindex.QueryStats // guarded by statsMu
+}
+
+func newCoordSession(ctx context.Context, set *Set, q core.Relevance) (*coordSession, error) {
+	s := &coordSession{set: set, grid: set.grid}
+	s.rel = core.Relevant(set.db, q)
+	s.relPos = make([]int, set.db.Len())
+	for i := range s.relPos {
+		s.relPos[i] = -1
+	}
+	for i, id := range s.rel {
+		s.relPos[id] = i
+	}
+	s.piHat = make([][][]int32, len(set.parts))
+	for p, part := range set.parts {
+		s.piHat[p] = make([][]int32, len(part.Tree().Nodes()))
+	}
+	// Global π̂ rows: one coordinate row per relevant graph, scanned against
+	// every shard. Each shard scan covers a disjoint ID range, so the summed
+	// row equals the unsharded single-scan row exactly (same candidates, same
+	// vantage lower bounds, hence the same grid slots). Rows are independent
+	// and each lands in its own piHat slot, so the scans run on the worker
+	// pool without affecting the result.
+	if len(s.grid) > 0 && len(s.rel) > 0 {
+		thetaMax := s.grid[len(s.grid)-1]
+		isRel := func(id graph.ID) bool { return s.relPos[id] >= 0 }
+		err := pool.Ranges(ctx, len(s.rel), set.workers, 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				id := s.rel[i]
+				home := set.PartFor(id)
+				coords := set.parts[home].VO().Coords(id)
+				row := make([]int32, len(s.grid))
+				for _, part := range set.parts {
+					for _, c := range part.VO().CandidatesWithLBCoords(coords, thetaMax, isRel) {
+						slot := sort.SearchFloat64s(s.grid, c.LB)
+						for t := slot; t < len(s.grid); t++ {
+							row[t]++
+						}
+					}
+				}
+				s.piHat[home][set.parts[home].LeafIdx(id)] = row
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// RelevantCount returns |L_q| for the session.
+func (s *coordSession) RelevantCount() int { return len(s.rel) }
+
+// LastStats returns statistics from the most recently completed TopK call.
+func (s *coordSession) LastStats() nbindex.QueryStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastStats
+}
+
+// PiHatBytes reports the memory consumed by the π̂ rows.
+func (s *coordSession) PiHatBytes() int64 {
+	var b int64
+	for _, rows := range s.piHat {
+		for _, row := range rows {
+			b += int64(len(row)) * 4
+		}
+	}
+	return b
+}
+
+// TopK runs the scatter-gather greedy at threshold theta with budget k. See
+// TopKContext.
+func (s *coordSession) TopK(theta float64, k int) (*core.Result, error) {
+	return s.TopKContext(context.Background(), theta, k)
+}
+
+// TopKContext runs the search-and-update phase across every shard tree: one
+// best-first search over the merged forest, where a candidate's upper bound
+// comes from its global π̂ row (the sum of shard-local π̂ bounds) and its
+// exact marginal gain sums shard-local coverage contributions — each shard
+// computes N_θ(g) ∩ shard with its own vantage ordering. Bounds are
+// admissible and every candidate whose bound reaches the best verified gain
+// is verified, so the pick is the exact greedy argmax with ties toward the
+// lower graph ID — the same answer as the unsharded engine, for any shard
+// count. Cancellation mirrors nbindex: checked on entry, at every greedy
+// pick, and periodically inside the search.
+func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*core.Result, error) {
+	if math.IsNaN(theta) {
+		return nil, fmt.Errorf("shard: theta is NaN")
+	}
+	if theta < 0 {
+		return nil, fmt.Errorf("shard: negative theta %v", theta)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: non-positive k %d", k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	parts := s.set.parts
+	res := &core.Result{Relevant: len(s.rel)}
+	var st nbindex.QueryStats
+	finish := func() {
+		s.statsMu.Lock()
+		s.lastStats = st
+		s.statsMu.Unlock()
+		s.set.tel.Load().Observe(st)
+	}
+	if len(s.rel) == 0 {
+		finish()
+		return res, nil
+	}
+
+	// Per-shard bound state at this θ, mirroring nbindex.Session.TopKContext:
+	// leaf bounds come from the smallest session-grid threshold ≥ θ, F is the
+	// per-subtree running maximum, sub holds the permanent credit
+	// subtractions. Only the containing tree differs per shard.
+	slot := sort.SearchFloat64s(s.grid, theta)
+	leafBound := func(p, idx int) int32 {
+		row := s.piHat[p][idx]
+		if row == nil {
+			return -1 // irrelevant leaf: never selectable
+		}
+		if slot >= len(row) {
+			return int32(len(s.rel)) // θ beyond the grid: trivial bound
+		}
+		return row[slot]
+	}
+	nodesOf := make([][]*nbtree.Node, len(parts))
+	sub := make([][]int32, len(parts))
+	F := make([][]int32, len(parts))
+	for p, part := range parts {
+		nodes := part.Tree().Nodes()
+		nodesOf[p] = nodes
+		sub[p] = make([]int32, len(nodes))
+		F[p] = make([]int32, len(nodes))
+		for i := len(nodes) - 1; i >= 0; i-- {
+			n := nodes[i]
+			if n.Leaf {
+				F[p][i] = leafBound(p, i)
+				continue
+			}
+			best := int32(-1)
+			for _, c := range n.Children {
+				if F[p][c.Idx] > best {
+					best = F[p][c.Idx]
+				}
+			}
+			F[p][i] = best
+		}
+	}
+	subAbove := func(p int, n *nbtree.Node) int32 {
+		var t int32
+		for q := n.Parent; q != nil; q = q.Parent {
+			t += sub[p][q.Idx]
+		}
+		return t
+	}
+	currentBound := func(p int, n *nbtree.Node) int32 { return F[p][n.Idx] - subAbove(p, n) }
+
+	covered := bitset.New(len(s.rel))
+	inAnswer := make([]bool, len(s.rel))
+	includeUncovered := func(id graph.ID) bool {
+		pos := s.relPos[id]
+		return pos >= 0 && !covered.Contains(pos)
+	}
+
+	// applyCredit records that relevant graph id became covered: one credit
+	// at its highest diameter ≤ θ ancestor in its HOME shard's tree (credits
+	// never cross shards — bounds in other shards merely stay looser, which
+	// is sound).
+	applyCredit := func(id graph.ID) {
+		p := s.set.PartFor(id)
+		a := nodesOf[p][parts[p].LeafIdx(id)]
+		for q := a.Parent; q != nil && q.Diameter <= theta; q = q.Parent {
+			a = q
+		}
+		sub[p][a.Idx]++
+		for n := a; n != nil; n = n.Parent {
+			var best int32
+			if n.Leaf {
+				best = leafBound(p, n.Idx)
+			} else {
+				best = -1
+				for _, c := range n.Children {
+					if F[p][c.Idx] > best {
+						best = F[p][c.Idx]
+					}
+				}
+			}
+			nf := best - sub[p][n.Idx]
+			if nf == F[p][n.Idx] && n != a {
+				break // no change propagates further
+			}
+			F[p][n.Idx] = nf
+		}
+	}
+
+	for len(res.Answer) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		best, bestGain := graph.ID(-1), int32(0)
+		var bestNbrs []int // relevant positions newly covered by best
+		pq := &coordHeap{}
+		for p := range parts {
+			root := parts[p].Tree().Root()
+			if b := currentBound(p, root); b > 0 {
+				heap.Push(pq, coordEntry{bound: b, part: p, node: root})
+			}
+		}
+		for pq.Len() > 0 {
+			e := heap.Pop(pq).(*coordEntry)
+			st.PQPops++
+			if st.PQPops&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			// Bounds equal to the best gain are still explored so that ties
+			// resolve toward the lowest graph ID, matching the unsharded
+			// search and the baseline greedy.
+			if e.bound < bestGain {
+				break
+			}
+			// Lazy re-evaluation: credits may have shrunk the bound since
+			// insertion.
+			if cur := currentBound(e.part, e.node); cur < e.bound {
+				if cur >= bestGain && cur > 0 {
+					heap.Push(pq, coordEntry{bound: cur, part: e.part, node: e.node})
+				}
+				continue
+			}
+			if e.node.Leaf {
+				pos := s.relPos[e.node.Centroid]
+				if pos < 0 || inAnswer[pos] {
+					continue
+				}
+				gain, nbrs := s.verify(e.node.Centroid, theta, includeUncovered, &st)
+				if gain > bestGain || (gain == bestGain && gain > 0 && e.node.Centroid < best) {
+					best, bestGain, bestNbrs = e.node.Centroid, gain, nbrs
+				}
+				continue
+			}
+			for _, c := range e.node.Children {
+				if b := currentBound(e.part, c); b > 0 && b >= bestGain {
+					heap.Push(pq, coordEntry{bound: b, part: e.part, node: c})
+				}
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break
+		}
+		inAnswer[s.relPos[best]] = true
+		res.Answer = append(res.Answer, best)
+		res.Gains = append(res.Gains, int(bestGain))
+		for _, pos := range bestNbrs {
+			covered.Add(pos)
+			applyCredit(s.rel[pos])
+		}
+	}
+	res.Covered = covered.Count()
+	res.Power = float64(res.Covered) / float64(res.Relevant)
+	finish()
+	return res, nil
+}
+
+// verify computes the exact marginal gain of graph g at threshold theta by
+// scatter-gathering: every shard is scanned with g's shared-VP coordinates
+// for candidates among its own uncovered relevant graphs, then exact
+// distances settle each. The union of shard candidate sets equals the
+// unsharded candidate set, so the gain — and the per-verify work counters —
+// match the unsharded engine exactly.
+func (s *coordSession) verify(g graph.ID, theta float64, include func(graph.ID) bool, st *nbindex.QueryStats) (int32, []int) {
+	st.VerifiedLeaves++
+	coords := s.set.parts[s.set.PartFor(g)].VO().Coords(g)
+	var nbrs []int
+	for _, part := range s.set.parts {
+		for _, id := range part.VO().CandidatesCoords(coords, theta, include) {
+			st.CandidateScans++
+			if id != g {
+				st.ExactDistances++
+				if s.set.m.Distance(g, id) > theta {
+					continue
+				}
+			}
+			nbrs = append(nbrs, s.relPos[id])
+		}
+	}
+	return int32(len(nbrs)), nbrs
+}
+
+// SweepTheta answers the query at every indexed threshold (plus extras). See
+// SweepThetaContext.
+func (s *coordSession) SweepTheta(k int, extra ...float64) ([]nbindex.ThetaPoint, error) {
+	return s.SweepThetaContext(context.Background(), k, extra...)
+}
+
+// SweepThetaContext mirrors nbindex's sweep over the coordinator: the shared
+// grid plus any extra thresholds, deduplicated ascending, one TopKContext
+// each.
+func (s *coordSession) SweepThetaContext(ctx context.Context, k int, extra ...float64) ([]nbindex.ThetaPoint, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: non-positive k %d", k)
+	}
+	thetas := append(append([]float64(nil), s.grid...), extra...)
+	sort.Float64s(thetas)
+	out := thetas[:0]
+	for i, t := range thetas {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	thetas = out
+	points := make([]nbindex.ThetaPoint, 0, len(thetas))
+	for _, theta := range thetas {
+		if theta < 0 {
+			return nil, fmt.Errorf("shard: negative theta %v in sweep", theta)
+		}
+		res, err := s.TopKContext(ctx, theta, k)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, nbindex.ThetaPoint{
+			Theta:      theta,
+			Power:      res.Power,
+			CR:         res.CompressionRatio(),
+			AnswerSize: len(res.Answer),
+		})
+	}
+	return points, nil
+}
+
+// coordEntry is a PQ element: one shard tree's node with its gain upper
+// bound.
+type coordEntry struct {
+	bound int32
+	part  int
+	node  *nbtree.Node
+}
+
+// coordHeap is a max-heap on bound; ties order by (shard, node index) so the
+// search trace is deterministic for any worker count.
+type coordHeap []*coordEntry
+
+func (h coordHeap) Len() int { return len(h) }
+func (h coordHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	if h[i].part != h[j].part {
+		return h[i].part < h[j].part
+	}
+	return h[i].node.Idx < h[j].node.Idx
+}
+func (h coordHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coordHeap) Push(x interface{}) {
+	e := x.(coordEntry)
+	*h = append(*h, &e)
+}
+func (h *coordHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

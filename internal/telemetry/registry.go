@@ -130,6 +130,30 @@ func (r *Registry) NewCounterVec(name, help, label string) (*CounterVec, error) 
 	return v, nil
 }
 
+// NewGaugeVec registers and returns a gauge family keyed by one label.
+// Children are float64-valued (FloatGauge), fitting non-integral gauges such
+// as per-shard build seconds.
+func (r *Registry) NewGaugeVec(name, help, label string) (*GaugeVec, error) {
+	if err := checkName(label); err != nil {
+		return nil, err
+	}
+	v := &GaugeVec{label: label, children: map[string]*FloatGauge{}}
+	err := r.register(name, help, "gauge", func(w io.Writer) error {
+		v.mu.RLock()
+		defer v.mu.RUnlock()
+		for _, val := range sortedKeys(v.children) {
+			if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, val, formatFloat(v.children[val].Value())); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
 // NewHistogramVec registers and returns a histogram family keyed by one
 // label, all children sharing the bucket bounds.
 func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) (*HistogramVec, error) {
@@ -182,6 +206,15 @@ func (r *Registry) MustHistogram(name, help string, bounds []float64) *Histogram
 		panic(err)
 	}
 	return h
+}
+
+// MustGaugeVec is NewGaugeVec, panicking on error.
+func (r *Registry) MustGaugeVec(name, help, label string) *GaugeVec {
+	v, err := r.NewGaugeVec(name, help, label)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // MustCounterVec is NewCounterVec, panicking on error.

@@ -151,6 +151,47 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 	return b
 }
 
+// FloatGauge is a float64-valued gauge, stored as an atomic bit pattern so
+// sets and reads never tear. It exists for gauge families whose values are
+// not integral (wall-time seconds, byte estimates).
+type FloatGauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// GaugeVec is a family of FloatGauges keyed by one label value (e.g. one
+// gauge per shard). Children are created on first use and live for the
+// registry's lifetime, so label values must be low-cardinality.
+type GaugeVec struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*FloatGauge
+}
+
+// With returns the child gauge for the label value, creating it on first
+// use.
+func (v *GaugeVec) With(value string) *FloatGauge {
+	v.mu.RLock()
+	g, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.children[value]; ok {
+		return g
+	}
+	g = &FloatGauge{}
+	v.children[value] = g
+	return g
+}
+
 // CounterVec is a family of Counters keyed by one label value (e.g. one
 // counter per HTTP endpoint). Children are created on first use and live for
 // the registry's lifetime, so label values must be low-cardinality.

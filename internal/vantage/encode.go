@@ -10,9 +10,12 @@ import (
 )
 
 // snapshot is the serialized form of an Ordering: the vantage points and
-// their distance rows. The sorted views are rebuilt on load.
+// their distance rows. The sorted views are rebuilt on load. Base was added
+// for sharded orderings; pre-shard snapshots lack the field and gob decodes
+// it as 0, which is exactly the base a full-database ordering has.
 type snapshot struct {
 	VPs  []graph.ID
+	Base graph.ID
 	Dist [][]float64
 }
 
@@ -20,7 +23,7 @@ type snapshot struct {
 // part of an NB-Index to build (O(|V|·|D|) distance computations), so
 // persisting them lets a database reopen without recomputing.
 func (o *Ordering) Encode(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(snapshot{VPs: o.vps, Dist: o.dist})
+	return gob.NewEncoder(w).Encode(snapshot{VPs: o.vps, Base: o.base, Dist: o.dist})
 }
 
 // ReadOrdering deserializes an Ordering written by Encode.
@@ -35,6 +38,7 @@ func ReadOrdering(r io.Reader) (*Ordering, error) {
 	n := len(s.Dist[0])
 	o := &Ordering{
 		vps:     s.VPs,
+		base:    s.Base,
 		dist:    s.Dist,
 		byDist:  make([][]graph.ID, len(s.VPs)),
 		sortedD: make([][]float64, len(s.VPs)),
@@ -45,13 +49,13 @@ func ReadOrdering(r io.Reader) (*Ordering, error) {
 		}
 		ids := make([]graph.ID, n)
 		for i := range ids {
-			ids[i] = graph.ID(i)
+			ids[i] = s.Base + graph.ID(i)
 		}
-		sort.Slice(ids, func(a, b int) bool { return row[ids[a]] < row[ids[b]] })
+		sort.Slice(ids, func(a, b int) bool { return row[ids[a]-s.Base] < row[ids[b]-s.Base] })
 		o.byDist[v] = ids
 		sd := make([]float64, n)
 		for i, id := range ids {
-			sd[i] = row[id]
+			sd[i] = row[id-s.Base]
 		}
 		o.sortedD[v] = sd
 	}

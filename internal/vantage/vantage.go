@@ -36,15 +36,21 @@ const (
 	SelectMaxMin
 )
 
-// Ordering holds the vantage orderings of a database: for every vantage
-// point, the distance from that VP to every graph, plus the 1-D orderings
-// used for range scans. Ordering is immutable after Build and safe for
-// concurrent use.
+// Ordering holds the vantage orderings of one contiguous ID range of a
+// database: for every vantage point, the distance from that VP to every
+// graph in the range, plus the 1-D orderings used for range scans. A
+// full-database ordering is simply the range [0, n); a shard's ordering
+// covers [base, base+count) while sharing the global vantage point set, so
+// the embedding coordinates of any graph are valid against any shard's
+// sorted views. Ordering is immutable after Build and safe for concurrent
+// use.
 type Ordering struct {
-	vps  []graph.ID
-	dist [][]float64 // dist[v][g] = d(vps[v], g)
-	// byDist[v] lists graph IDs sorted by dist[v][·]; sortedD[v] carries the
-	// matching sorted distances for binary search.
+	vps []graph.ID
+	// base is the first graph ID covered; dist rows are indexed by id-base.
+	base graph.ID
+	dist [][]float64 // dist[v][g-base] = d(vps[v], g)
+	// byDist[v] lists (global) graph IDs sorted by dist[v][·]; sortedD[v]
+	// carries the matching sorted distances for binary search.
 	byDist  [][]graph.ID
 	sortedD [][]float64
 }
@@ -104,12 +110,26 @@ func Build(db *graph.Database, m metric.Metric, vps []graph.ID) (*Ordering, erro
 // Cancellation is observed between chunks: on a cancelled context the
 // partial ordering is discarded and ctx.Err() returned.
 func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, vps []graph.ID, workers int) (*Ordering, error) {
+	return BuildRangeContext(ctx, db, m, vps, 0, db.Len(), workers)
+}
+
+// BuildRangeContext computes the vantage orderings of the contiguous ID
+// range [base, base+count) of db. The vantage points themselves may lie
+// anywhere in the database — shards share one global VP set, which is what
+// keeps a graph's embedding coordinates comparable across every shard's
+// orderings. It issues exactly len(vps)·count distance computations; see
+// BuildContext for the parallelism and determinism contract.
+func BuildRangeContext(ctx context.Context, db *graph.Database, m metric.Metric, vps []graph.ID, base graph.ID, count, workers int) (*Ordering, error) {
 	if len(vps) == 0 {
 		return nil, fmt.Errorf("vantage: no vantage points")
 	}
 	n := db.Len()
+	if int(base) < 0 || count <= 0 || int(base)+count > n {
+		return nil, fmt.Errorf("vantage: range [%d, %d) out of bounds for %d graphs", base, int(base)+count, n)
+	}
 	o := &Ordering{
 		vps:     append([]graph.ID(nil), vps...),
+		base:    base,
 		dist:    make([][]float64, len(vps)),
 		byDist:  make([][]graph.ID, len(vps)),
 		sortedD: make([][]float64, len(vps)),
@@ -120,14 +140,14 @@ func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, vps 
 		}
 	}
 	for v := range o.vps {
-		o.dist[v] = make([]float64, n)
+		o.dist[v] = make([]float64, count)
 	}
-	// Phase 1: the distance-matrix fill, flattened to |V|·n cells so the
+	// Phase 1: the distance-matrix fill, flattened to |V|·count cells so the
 	// pool balances work even when |V| is far below the worker count.
-	if err := pool.Ranges(ctx, len(o.vps)*n, workers, 512, func(lo, hi int) {
+	if err := pool.Ranges(ctx, len(o.vps)*count, workers, 512, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
-			v, i := idx/n, idx%n
-			o.dist[v][i] = m.Distance(o.vps[v], graph.ID(i))
+			v, i := idx/count, idx%count
+			o.dist[v][i] = m.Distance(o.vps[v], base+graph.ID(i))
 		}
 	}); err != nil {
 		return nil, err
@@ -136,15 +156,15 @@ func BuildContext(ctx context.Context, db *graph.Database, m metric.Metric, vps 
 	if err := pool.Ranges(ctx, len(o.vps), workers, 1, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			row := o.dist[v]
-			ids := make([]graph.ID, n)
+			ids := make([]graph.ID, count)
 			for i := range ids {
-				ids[i] = graph.ID(i)
+				ids[i] = base + graph.ID(i)
 			}
-			sort.Slice(ids, func(a, b int) bool { return row[ids[a]] < row[ids[b]] })
+			sort.Slice(ids, func(a, b int) bool { return row[ids[a]-base] < row[ids[b]-base] })
 			o.byDist[v] = ids
-			sd := make([]float64, n)
+			sd := make([]float64, count)
 			for i, id := range ids {
-				sd[i] = row[id]
+				sd[i] = row[id-base]
 			}
 			o.sortedD[v] = sd
 		}
@@ -160,18 +180,36 @@ func (o *Ordering) NumVPs() int { return len(o.vps) }
 // VPs returns the vantage point IDs. The caller must not modify the slice.
 func (o *Ordering) VPs() []graph.ID { return o.vps }
 
+// Base returns the first graph ID the ordering covers.
+func (o *Ordering) Base() graph.ID { return o.base }
+
 // Len returns the number of embedded graphs.
 func (o *Ordering) Len() int { return len(o.dist[0]) }
 
-// VPDistance returns d(vps[v], g) from the precomputed embedding.
-func (o *Ordering) VPDistance(v int, g graph.ID) float64 { return o.dist[v][g] }
+// VPDistance returns d(vps[v], g) from the precomputed embedding. g must lie
+// in the ordering's range.
+func (o *Ordering) VPDistance(v int, g graph.ID) float64 { return o.dist[v][g-o.base] }
+
+// Coords returns g's embedding coordinates — d(vps[v], g) for every vantage
+// point — as a fresh slice. Because shards share one global VP set, the row
+// is valid as a query point against any shard's ordering (CandidatesCoords);
+// this is how the coordinator scans the neighborhoods of a graph inside
+// shards that do not own it, with zero extra distance computations.
+func (o *Ordering) Coords(g graph.ID) []float64 {
+	coords := make([]float64, len(o.dist))
+	for v := range o.dist {
+		coords[v] = o.dist[v][g-o.base]
+	}
+	return coords
+}
 
 // LowerBound returns the vantage distance max_v |d(v,a) − d(v,b)|, a lower
-// bound on d(a,b) (Theorem 4 / Definition 4 lifted to a VP set).
+// bound on d(a,b) (Theorem 4 / Definition 4 lifted to a VP set). Both graphs
+// must lie in the ordering's range.
 func (o *Ordering) LowerBound(a, b graph.ID) float64 {
 	lb := 0.0
 	for v := range o.dist {
-		if d := math.Abs(o.dist[v][a] - o.dist[v][b]); d > lb {
+		if d := math.Abs(o.dist[v][a-o.base] - o.dist[v][b-o.base]); d > lb {
 			lb = d
 		}
 	}
@@ -179,26 +217,38 @@ func (o *Ordering) LowerBound(a, b graph.ID) float64 {
 }
 
 // UpperBound returns min_v (d(v,a) + d(v,b)), an upper bound on d(a,b) by
-// the triangle inequality.
+// the triangle inequality. Both graphs must lie in the ordering's range.
 func (o *Ordering) UpperBound(a, b graph.ID) float64 {
 	ub := math.MaxFloat64
 	for v := range o.dist {
-		if d := o.dist[v][a] + o.dist[v][b]; d < ub {
+		if d := o.dist[v][a-o.base] + o.dist[v][b-o.base]; d < ub {
 			ub = d
 		}
 	}
 	return ub
 }
 
-// Candidates computes N̂_θ(g) restricted to the graphs for which include
-// returns true (pass nil to include everything): every graph whose vantage
-// distance to g is ≤ θ in all vantage spaces. By Theorem 5 the result is a
-// superset of the true θ-neighborhood N_θ(g) ∩ include.
-//
-// The first vantage ordering is scanned with binary search to bound the
-// candidate range; the remaining vantage spaces filter by O(1) lookups.
+// Candidates computes N̂_θ(g) ∩ range restricted to the graphs for which
+// include returns true (pass nil to include everything): every covered graph
+// whose vantage distance to g is ≤ θ in all vantage spaces. By Theorem 5 the
+// result is a superset of the true θ-neighborhood N_θ(g) ∩ range ∩ include.
+// g must lie in the ordering's range; for query points owned by another
+// shard use CandidatesCoords with the owner's Coords row.
 func (o *Ordering) Candidates(g graph.ID, theta float64, include func(graph.ID) bool) []graph.ID {
-	d0 := o.dist[0][g]
+	return o.candidatesScan(o.dist0(g), func(v int) float64 { return o.dist[v][g-o.base] }, theta, include)
+}
+
+// CandidatesCoords is Candidates for an external query point given by its
+// embedding coordinates (one per vantage point, as returned by Coords on the
+// ordering that owns the graph).
+func (o *Ordering) CandidatesCoords(coords []float64, theta float64, include func(graph.ID) bool) []graph.ID {
+	return o.candidatesScan(coords[0], func(v int) float64 { return coords[v] }, theta, include)
+}
+
+// candidatesScan is the shared scan behind Candidates and CandidatesCoords:
+// binary search bounds the candidate window in the first vantage space, the
+// remaining spaces filter by O(1) lookups.
+func (o *Ordering) candidatesScan(d0 float64, coord func(v int) float64, theta float64, include func(graph.ID) bool) []graph.ID {
 	lo := sort.SearchFloat64s(o.sortedD[0], d0-theta)
 	hi := sort.SearchFloat64s(o.sortedD[0], math.Nextafter(d0+theta, math.Inf(1)))
 	var out []graph.ID
@@ -209,7 +259,7 @@ scan:
 			continue
 		}
 		for v := 1; v < len(o.dist); v++ {
-			if math.Abs(o.dist[v][id]-o.dist[v][g]) > theta {
+			if math.Abs(o.dist[v][id-o.base]-coord(v)) > theta {
 				continue scan
 			}
 		}
@@ -230,7 +280,16 @@ type Candidate struct {
 // θ' ≤ theta, which lets one scan at the largest indexed threshold populate
 // the whole π̂-vector (Definition 6).
 func (o *Ordering) CandidatesWithLB(g graph.ID, theta float64, include func(graph.ID) bool) []Candidate {
-	d0 := o.dist[0][g]
+	return o.candidatesLBScan(o.dist0(g), func(v int) float64 { return o.dist[v][g-o.base] }, theta, include)
+}
+
+// CandidatesWithLBCoords is CandidatesWithLB for an external query point
+// given by its embedding coordinates.
+func (o *Ordering) CandidatesWithLBCoords(coords []float64, theta float64, include func(graph.ID) bool) []Candidate {
+	return o.candidatesLBScan(coords[0], func(v int) float64 { return coords[v] }, theta, include)
+}
+
+func (o *Ordering) candidatesLBScan(d0 float64, coord func(v int) float64, theta float64, include func(graph.ID) bool) []Candidate {
 	lo := sort.SearchFloat64s(o.sortedD[0], d0-theta)
 	hi := sort.SearchFloat64s(o.sortedD[0], math.Nextafter(d0+theta, math.Inf(1)))
 	var out []Candidate
@@ -242,7 +301,7 @@ scan:
 		}
 		lb := math.Abs(o.sortedD[0][i] - d0)
 		for v := 1; v < len(o.dist); v++ {
-			d := math.Abs(o.dist[v][id] - o.dist[v][g])
+			d := math.Abs(o.dist[v][id-o.base] - coord(v))
 			if d > theta {
 				continue scan
 			}
@@ -255,6 +314,9 @@ scan:
 	return out
 }
 
+// dist0 returns g's coordinate in the first vantage space.
+func (o *Ordering) dist0(g graph.ID) float64 { return o.dist[0][g-o.base] }
+
 // FPRSample measures the observed false positive rate of the embedding: the
 // fraction of candidate pairs (within vantage distance θ) that are not true
 // θ-neighbors under m. It samples `samples` query graphs using rng. This
@@ -263,7 +325,7 @@ func (o *Ordering) FPRSample(m metric.Metric, theta float64, samples int, rng *r
 	n := o.Len()
 	candidates, falsePos := 0, 0
 	for s := 0; s < samples; s++ {
-		g := graph.ID(rng.Intn(n))
+		g := o.base + graph.ID(rng.Intn(n))
 		for _, id := range o.Candidates(g, theta, nil) {
 			if id == g {
 				continue
@@ -282,11 +344,11 @@ func (o *Ordering) FPRSample(m metric.Metric, theta float64, samples int, rng *r
 
 // Insert extends the ordering with a newly appended database graph: one
 // distance computation per vantage point plus a sorted insertion into each
-// vantage ordering. The graph's ID must equal the current Len(). Not safe
-// concurrently with reads.
+// vantage ordering. The graph's ID must equal Base()+Len() (the next ID in
+// the ordering's contiguous range). Not safe concurrently with reads.
 func (o *Ordering) Insert(id graph.ID, m metric.Metric) error {
-	if int(id) != o.Len() {
-		return fmt.Errorf("vantage: inserting id %d, want %d", id, o.Len())
+	if int(id-o.base) != o.Len() {
+		return fmt.Errorf("vantage: inserting id %d, want %d", id, int(o.base)+o.Len())
 	}
 	for v, vp := range o.vps {
 		d := m.Distance(vp, id)

@@ -1,0 +1,260 @@
+package graphrep_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"graphrep"
+)
+
+// The sharding determinism contract, as tests:
+//
+//   - answers (Answer, Gains, Covered, Power) are byte-identical for any
+//     shard count — the global vantage point set and θ grid make per-shard
+//     bounds compose exactly;
+//   - at a fixed shard count, everything — answers, SaveIndex bytes, and
+//     QueryStats — is identical for any Workers value;
+//   - a v2 index file round-trips through SaveIndex/OpenWithIndex with its
+//     shard count intact;
+//   - a v1 index file (committed golden blob from the pre-shard engine)
+//     still loads, comes up as one shard, and answers identically to a
+//     fresh build.
+//
+// QueryStats totals are deliberately NOT compared across different shard
+// counts: each count's forest has its own shape, so the search does a
+// different (equally correct) amount of bookkeeping work.
+
+var equalityThetas = []float64{4, 6, 8, 11}
+
+type answer struct {
+	Answer   []graphrep.ID
+	Gains    []int
+	Covered  int
+	Relevant int
+	Power    float64
+}
+
+// collectAnswers runs TopK at every test θ plus a full sweep, recording the
+// results and per-query stats.
+func collectAnswers(t *testing.T, engine *graphrep.Engine, k int) ([]answer, []graphrep.QueryStats, []graphrep.ThetaPoint) {
+	t.Helper()
+	rel := graphrep.FirstQuartileRelevance(engine.Database(), nil)
+	sess, err := engine.NewSession(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var answers []answer
+	var stats []graphrep.QueryStats
+	for _, theta := range equalityThetas {
+		res, err := sess.TopK(theta, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers = append(answers, answer{
+			Answer: res.Answer, Gains: res.Gains,
+			Covered: res.Covered, Relevant: res.Relevant, Power: res.Power,
+		})
+		stats = append(stats, sess.LastStats())
+	}
+	points, err := sess.SweepTheta(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return answers, stats, points
+}
+
+// TestShardCountAnswerEquality builds the same database at 1, 2, and 4
+// shards and checks every answer — TopK at several θ and the full sweep
+// curve — is identical.
+func TestShardCountAnswerEquality(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type run struct {
+		shards  int
+		answers []answer
+		points  []graphrep.ThetaPoint
+	}
+	var runs []run
+	for _, shards := range []int{1, 2, 4} {
+		engine, err := graphrep.Open(db, graphrep.Options{Seed: 5, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if engine.Shards() != shards {
+			t.Fatalf("engine has %d shards, want %d", engine.Shards(), shards)
+		}
+		answers, _, points := collectAnswers(t, engine, 5)
+		runs = append(runs, run{shards, answers, points})
+	}
+	for _, r := range runs[1:] {
+		if !reflect.DeepEqual(r.answers, runs[0].answers) {
+			t.Errorf("shards=%d answers differ from shards=1:\n got %+v\nwant %+v",
+				r.shards, r.answers, runs[0].answers)
+		}
+		if !reflect.DeepEqual(r.points, runs[0].points) {
+			t.Errorf("shards=%d sweep curve differs from shards=1", r.shards)
+		}
+	}
+}
+
+// TestShardWorkerEquality fixes the shard count and varies Workers: answers,
+// QueryStats, and the persisted index bytes must all be identical — the
+// parallelism is pre-partitioned and every randomized decision is pinned
+// before any fan-out.
+func TestShardWorkerEquality(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 140, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		type run struct {
+			workers int
+			answers []answer
+			stats   []graphrep.QueryStats
+			blob    []byte
+		}
+		var runs []run
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			engine, err := graphrep.Open(db, graphrep.Options{Seed: 9, Shards: shards, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := engine.SaveIndex(&buf); err != nil {
+				t.Fatal(err)
+			}
+			answers, stats, _ := collectAnswers(t, engine, 4)
+			runs = append(runs, run{workers, answers, stats, buf.Bytes()})
+		}
+		for _, r := range runs[1:] {
+			if !bytes.Equal(r.blob, runs[0].blob) {
+				t.Errorf("shards=%d: index bytes differ between workers=%d and workers=%d",
+					shards, r.workers, runs[0].workers)
+			}
+			if !reflect.DeepEqual(r.answers, runs[0].answers) {
+				t.Errorf("shards=%d: answers differ between workers=%d and workers=%d",
+					shards, r.workers, runs[0].workers)
+			}
+			if !reflect.DeepEqual(r.stats, runs[0].stats) {
+				t.Errorf("shards=%d: query stats differ between workers=%d and workers=%d:\n got %+v\nwant %+v",
+					shards, r.workers, runs[0].workers, r.stats, runs[0].stats)
+			}
+		}
+	}
+}
+
+// TestSaveIndexShardRoundTrip persists a multi-shard index and reloads it:
+// the shard count survives, the answers match the original engine, and
+// re-saving reproduces the same bytes.
+func TestSaveIndexShardRoundTrip(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 130, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 3, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := engine.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), buf.Bytes()...)
+
+	loaded, err := graphrep.OpenWithIndex(db, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Shards() != 3 {
+		t.Fatalf("loaded engine has %d shards, want 3", loaded.Shards())
+	}
+	wantAnswers, _, _ := collectAnswers(t, engine, 5)
+	gotAnswers, _, _ := collectAnswers(t, loaded, 5)
+	if !reflect.DeepEqual(gotAnswers, wantAnswers) {
+		t.Errorf("loaded engine answers differ:\n got %+v\nwant %+v", gotAnswers, wantAnswers)
+	}
+	var again bytes.Buffer
+	if err := loaded.SaveIndex(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), blob) {
+		t.Error("re-saved index bytes differ from the original")
+	}
+}
+
+// TestV1IndexGolden loads the committed pre-shard (format v1) index blob —
+// generated by the engine as it existed before sharding, over dud n=120
+// seed=7 — and checks it comes up as a single shard answering exactly like a
+// fresh build. This is the backward-compatibility contract: stored v1
+// indexes keep working unchanged.
+func TestV1IndexGolden(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("testdata", "index_v1_dud120_seed7.nbx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrep.GenerateDataset("dud", 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := graphrep.OpenWithIndex(db, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("v1 index blob no longer loads: %v", err)
+	}
+	if loaded.Shards() != 1 {
+		t.Fatalf("v1 index loaded as %d shards, want 1", loaded.Shards())
+	}
+	fresh, err := graphrep.Open(db, graphrep.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnswers, _, wantPoints := collectAnswers(t, fresh, 5)
+	gotAnswers, _, gotPoints := collectAnswers(t, loaded, 5)
+	if !reflect.DeepEqual(gotAnswers, wantAnswers) {
+		t.Errorf("v1-loaded engine answers differ from fresh build:\n got %+v\nwant %+v", gotAnswers, wantAnswers)
+	}
+	if !reflect.DeepEqual(gotPoints, wantPoints) {
+		t.Error("v1-loaded engine sweep curve differs from fresh build")
+	}
+	// A re-save upgrades to the current format and still round-trips.
+	var v2 bytes.Buffer
+	if err := loaded.SaveIndex(&v2); err != nil {
+		t.Fatal(err)
+	}
+	upgraded, err := graphrep.OpenWithIndex(db, &v2)
+	if err != nil {
+		t.Fatalf("re-saved v1 index does not reload: %v", err)
+	}
+	gotAnswers, _, _ = collectAnswers(t, upgraded, 5)
+	if !reflect.DeepEqual(gotAnswers, wantAnswers) {
+		t.Error("upgraded (v1→v2) index answers differ")
+	}
+}
+
+// TestOpenWithIndexContextCancel checks the satellite contract on the load
+// path: a pre-cancelled context aborts OpenWithIndexContext with ctx.Err().
+func TestOpenWithIndexContextCancel(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := engine.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := graphrep.OpenWithIndexContext(ctx, db, &buf); err != context.Canceled {
+		t.Fatalf("cancelled OpenWithIndexContext returned %v, want context.Canceled", err)
+	}
+}
