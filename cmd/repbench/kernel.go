@@ -1,0 +1,207 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"graphrep"
+)
+
+// The -bench-kernel mode: measure what the threshold-aware distance kernel
+// saves on the query path. The same database and the same query workload
+// (a θ sweep plus a TopK at every swept threshold) run twice — once with the
+// bounded kernel (the default) and once with Options.DisableBoundedKernel —
+// and the report compares how many completed Hungarian solves each side
+// issued after the index was built. Answers must be byte-identical across
+// the two runs; benchKernel fails loudly if they are not, since that would
+// violate the kernel's core contract (Within ⇔ Distance ≤ θ).
+
+// KernelPrune is the bound-cascade breakdown of one side's run.
+type KernelPrune struct {
+	Size         int64 `json:"size"`
+	Histogram    int64 `json:"histogram"`
+	RowMin       int64 `json:"rowMin"`
+	Greedy       int64 `json:"greedy"`
+	Dual         int64 `json:"dual"`
+	BoundedExact int64 `json:"boundedExact"`
+}
+
+// KernelBenchSide is one configuration's measurements. Full solves are
+// completed Hungarian runs (bounded tests that fell through the whole
+// cascade, plus plain Distance computations); the query-path figures count
+// everything after Open returned — session initialization, the sweep, and
+// the TopK calls.
+type KernelBenchSide struct {
+	BuildNs         int64       `json:"build_ns"`
+	QueryNs         int64       `json:"query_ns"`
+	BuildFullSolves int64       `json:"build_full_solves"`
+	QueryFullSolves int64       `json:"query_full_solves"`
+	QueryPruned     int64       `json:"query_pruned"`
+	Prune           KernelPrune `json:"prune"`
+}
+
+// KernelBenchReport is the full -bench-kernel output.
+type KernelBenchReport struct {
+	Dataset string    `json:"dataset"`
+	N       int       `json:"n"`
+	Seed    int64     `json:"seed"`
+	K       int       `json:"k"`
+	Thetas  []float64 `json:"thetas"`
+	Workers int       `json:"workers"` // resolved GOMAXPROCS at run time
+
+	Bounded KernelBenchSide `json:"bounded"`
+	Exact   KernelBenchSide `json:"exact"`
+	// SolveReduction is exact query-path full solves over bounded query-path
+	// full solves — how many times fewer complete Hungarian runs the bounded
+	// kernel needed for the identical workload and identical answers.
+	SolveReduction float64 `json:"query_full_solve_reduction"`
+}
+
+// kernelAnswers is one side's complete answer transcript, compared verbatim
+// across the two configurations.
+type kernelAnswers struct {
+	sweep   []graphrep.ThetaPoint
+	answers [][]graphrep.ID
+}
+
+// benchKernel runs the kernel on/off comparison over a database of n graphs
+// and writes the JSON report to outPath and a summary to w.
+func benchKernel(w io.Writer, outPath string, n int) error {
+	const (
+		dataset = "dud"
+		seed    = int64(1)
+		k       = 5
+	)
+	db, err := graphrep.GenerateDataset(dataset, n, seed)
+	if err != nil {
+		return err
+	}
+	rel := graphrep.FirstQuartileRelevance(db, nil)
+	report := KernelBenchReport{
+		Dataset: dataset, N: n, Seed: seed, K: k,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+
+	bounded, boundedRes, err := runKernelSide(db, rel, k, graphrep.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	exact, exactRes, err := runKernelSide(db, rel, k, graphrep.Options{Seed: seed, DisableBoundedKernel: true})
+	if err != nil {
+		return err
+	}
+	if err := compareKernelAnswers(boundedRes, exactRes); err != nil {
+		return fmt.Errorf("bounded kernel changed an answer: %w", err)
+	}
+	for _, p := range boundedRes.sweep {
+		report.Thetas = append(report.Thetas, p.Theta)
+	}
+	report.Bounded, report.Exact = bounded, exact
+	if bounded.QueryFullSolves > 0 {
+		report.SolveReduction = float64(exact.QueryFullSolves) / float64(bounded.QueryFullSolves)
+	}
+
+	fmt.Fprintf(w, "kernel on:  build %v, query %v, %d query-path full solves (%d pruned)\n",
+		time.Duration(bounded.BuildNs).Round(time.Microsecond),
+		time.Duration(bounded.QueryNs).Round(time.Microsecond),
+		bounded.QueryFullSolves, bounded.QueryPruned)
+	fmt.Fprintf(w, "kernel off: build %v, query %v, %d query-path full solves\n",
+		time.Duration(exact.BuildNs).Round(time.Microsecond),
+		time.Duration(exact.QueryNs).Round(time.Microsecond),
+		exact.QueryFullSolves)
+	fmt.Fprintf(w, "answers identical; full-solve reduction %.1f×\n", report.SolveReduction)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(report)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", outPath)
+	return nil
+}
+
+// runKernelSide opens one engine with opts and runs the fixed workload:
+// open a session, sweep θ, then TopK at every swept threshold. It returns
+// the timing and solve counts plus the full answer transcript.
+func runKernelSide(db *graphrep.Database, rel graphrep.Relevance, k int, opts graphrep.Options) (KernelBenchSide, kernelAnswers, error) {
+	var side KernelBenchSide
+	var res kernelAnswers
+	start := time.Now()
+	engine, err := graphrep.Open(db, opts)
+	if err != nil {
+		return side, res, err
+	}
+	side.BuildNs = time.Since(start).Nanoseconds()
+	built := engine.Telemetry().Snapshot()
+	side.BuildFullSolves = built.Prune.FullSolves()
+
+	start = time.Now()
+	sess, err := engine.NewSession(rel)
+	if err != nil {
+		return side, res, err
+	}
+	if res.sweep, err = sess.SweepTheta(k); err != nil {
+		return side, res, err
+	}
+	for _, p := range res.sweep {
+		r, err := sess.TopK(p.Theta, k)
+		if err != nil {
+			return side, res, err
+		}
+		res.answers = append(res.answers, r.Answer)
+	}
+	side.QueryNs = time.Since(start).Nanoseconds()
+
+	snap := engine.Telemetry().Snapshot()
+	side.QueryFullSolves = snap.Prune.FullSolves() - side.BuildFullSolves
+	side.QueryPruned = snap.Prune.Pruned() - built.Prune.Pruned()
+	side.Prune = KernelPrune{
+		Size:         snap.Prune.Size,
+		Histogram:    snap.Prune.Histogram,
+		RowMin:       snap.Prune.RowMin,
+		Greedy:       snap.Prune.Greedy,
+		Dual:         snap.Prune.Dual,
+		BoundedExact: snap.Prune.BoundedExact,
+	}
+	return side, res, nil
+}
+
+// compareKernelAnswers demands the two transcripts match verbatim: the same
+// sweep points and the same answer set in the same order at every θ.
+func compareKernelAnswers(a, b kernelAnswers) error {
+	if len(a.sweep) != len(b.sweep) {
+		return fmt.Errorf("sweep lengths differ: %d vs %d", len(a.sweep), len(b.sweep))
+	}
+	for i := range a.sweep {
+		if a.sweep[i] != b.sweep[i] {
+			return fmt.Errorf("sweep point %d differs: %+v vs %+v", i, a.sweep[i], b.sweep[i])
+		}
+	}
+	if len(a.answers) != len(b.answers) {
+		return fmt.Errorf("answer counts differ: %d vs %d", len(a.answers), len(b.answers))
+	}
+	for i := range a.answers {
+		if len(a.answers[i]) != len(b.answers[i]) {
+			return fmt.Errorf("answer %d sizes differ", i)
+		}
+		for j := range a.answers[i] {
+			if a.answers[i][j] != b.answers[i][j] {
+				return fmt.Errorf("answer %d position %d differs: graph %d vs %d",
+					i, j, a.answers[i][j], b.answers[i][j])
+			}
+		}
+	}
+	return nil
+}

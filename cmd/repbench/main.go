@@ -9,6 +9,7 @@
 //	repbench -exp all -scale medium
 //	repbench -bench-shards BENCH_shards.json
 //	repbench -bench-shards smoke.json -shards 2 -bench-n 200
+//	repbench -bench-kernel BENCH_kernel.json -bench-n 400
 package main
 
 import (
@@ -27,8 +28,9 @@ func main() {
 		list        = flag.Bool("list", false, "list experiments and exit")
 		out         = flag.String("out", "", "also write output to this file")
 		benchShard  = flag.String("bench-shards", "", "run the shard build/query benchmark and write the JSON report to this file (skips experiments)")
+		benchKern   = flag.String("bench-kernel", "", "run the bounded-kernel on/off comparison and write the JSON report to this file (skips experiments)")
 		shards      = flag.Int("shards", 0, "with -bench-shards: benchmark only this shard count (0 = the 1/2/4 sweep)")
-		benchShardN = flag.Int("bench-n", 400, "with -bench-shards: benchmark database size")
+		benchShardN = flag.Int("bench-n", 400, "with -bench-shards/-bench-kernel: benchmark database size")
 	)
 	flag.Parse()
 	if *shards < 0 {
@@ -40,9 +42,18 @@ func main() {
 	if *shards > 0 && *benchShard == "" {
 		usageError("-shards requires -bench-shards")
 	}
+	if *benchShard != "" && *benchKern != "" {
+		usageError("-bench-shards and -bench-kernel are mutually exclusive")
+	}
 
 	if *benchShard != "" {
 		if err := benchShards(os.Stdout, *benchShard, *benchShardN, *shards); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchKern != "" {
+		if err := benchKernel(os.Stdout, *benchKern, *benchShardN); err != nil {
 			fatal(err)
 		}
 		return
@@ -97,7 +108,7 @@ func fatal(err error) {
 // usageError rejects an invalid flag value: the complaint plus the usage
 // text on stderr, exit status 2 (flag's own convention for bad invocations,
 // distinct from runtime failures, which exit 1 via fatal).
-func usageError(format string, args ...interface{}) {
+func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "repbench: "+format+"\n", args...)
 	flag.Usage()
 	os.Exit(2)

@@ -168,8 +168,12 @@ func main() {
 		}
 		fmt.Printf("  NB-Index queries       %d\n", snap.Queries)
 		qt := snap.QueryTotals
-		fmt.Printf("  per-query work totals  pq pops=%d verified leaves=%d candidate scans=%d exact distances=%d\n",
-			qt.PQPops, qt.VerifiedLeaves, qt.CandidateScans, qt.ExactDistances)
+		fmt.Printf("  per-query work totals  pq pops=%d verified leaves=%d candidate scans=%d exact distances=%d pruned distances=%d\n",
+			qt.PQPops, qt.VerifiedLeaves, qt.CandidateScans, qt.ExactDistances, qt.PrunedDistances)
+		if pr := snap.Prune; pr.Pruned()+pr.FullSolves() > 0 {
+			fmt.Printf("  bound cascade          size=%d histogram=%d rowmin=%d greedy=%d dual=%d full solves=%d\n",
+				pr.Size, pr.Histogram, pr.RowMin, pr.Greedy, pr.Dual, pr.FullSolves())
+		}
 	}
 }
 
@@ -227,7 +231,7 @@ func fatal(err error) {
 // usageError rejects an invalid flag value: the complaint plus the usage
 // text on stderr, exit status 2 (flag's own convention for bad invocations,
 // distinct from runtime failures, which exit 1 via fatal).
-func usageError(format string, args ...interface{}) {
+func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "repquery: "+format+"\n", args...)
 	flag.Usage()
 	os.Exit(2)

@@ -96,7 +96,7 @@ func main() {
 // usageError rejects an invalid flag value: the complaint plus the usage
 // text on stderr, exit status 2 (flag's own convention for bad invocations,
 // distinct from runtime failures, which exit 1 via log.Fatal).
-func usageError(format string, args ...interface{}) {
+func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "repserve: "+format+"\n", args...)
 	flag.Usage()
 	os.Exit(2)

@@ -13,12 +13,17 @@ import (
 // catches ordering differences DeepEqual might gloss over) and the
 // QueryStats of the call.
 func openRun(t *testing.T, dataset string, n int, seed int64, theta float64, k int) ([]byte, graphrep.QueryStats) {
+	return openRunKernel(t, dataset, n, seed, theta, k, false)
+}
+
+// openRunKernel is openRun with control over the bounded distance kernel.
+func openRunKernel(t *testing.T, dataset string, n int, seed int64, theta float64, k int, disableKernel bool) ([]byte, graphrep.QueryStats) {
 	t.Helper()
 	db, err := graphrep.GenerateDataset(dataset, n, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, err := graphrep.Open(db, graphrep.Options{Seed: seed + 1})
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: seed + 1, DisableBoundedKernel: disableKernel})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,6 +70,22 @@ func TestDeterministicAcrossOpens(t *testing.T) {
 		if st1 != st2 {
 			t.Errorf("%s n=%d seed=%d θ=%v k=%d: stats differ: %+v vs %+v",
 				c.dataset, c.n, c.seed, c.theta, c.k, st1, st2)
+		}
+		// The bounded kernel must be invisible in the Result: a fresh run
+		// with DisableBoundedKernel produces the same bytes, the same total
+		// candidate tests, and (necessarily) no pruned distances.
+		res3, st3 := openRunKernel(t, c.dataset, c.n, c.seed, c.theta, c.k, true)
+		if !bytes.Equal(res1, res3) {
+			t.Errorf("%s n=%d seed=%d θ=%v k=%d: results differ with kernel disabled:\n%s\nvs\n%s",
+				c.dataset, c.n, c.seed, c.theta, c.k, res1, res3)
+		}
+		if st3.PrunedDistances != 0 {
+			t.Errorf("%s n=%d seed=%d θ=%v k=%d: disabled kernel reported %d pruned distances",
+				c.dataset, c.n, c.seed, c.theta, c.k, st3.PrunedDistances)
+		}
+		if got, want := st3.ExactDistances, st1.ExactDistances+st1.PrunedDistances; got != want {
+			t.Errorf("%s n=%d seed=%d θ=%v k=%d: candidate tests differ: %d with kernel off, %d on",
+				c.dataset, c.n, c.seed, c.theta, c.k, got, want)
 		}
 	}
 }

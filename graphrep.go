@@ -151,6 +151,16 @@ type Options struct {
 	// (QueryStats) do vary with the shard count, since each count's forest
 	// has its own shape.
 	Shards int
+	// DisableBoundedKernel turns off the threshold-aware distance kernel:
+	// every candidate test d(q, g) ≤ θ falls back to a full exact distance
+	// computation instead of the bound cascade (size/padding, label
+	// histogram, row-minima, greedy upper bound, Hungarian dual early exit).
+	// Answers, sweeps, and index bytes are byte-identical either way — the
+	// kernel only ever changes how a decision is reached, never the decision —
+	// so this switch exists for baseline benchmarks (repbench -bench-kernel
+	// measures the savings against it) and for bisecting a suspected kernel
+	// difference.
+	DisableBoundedKernel bool
 }
 
 // Engine answers top-k representative queries over one database through an
@@ -191,9 +201,15 @@ func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, e
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	m, counter, cache, err := instrumentMetric(db, o.Metric)
+	m, counter, cache, stages, err := instrumentMetric(db, o.Metric)
 	if err != nil {
 		return nil, err
+	}
+	if o.DisableBoundedKernel {
+		// Hide the bounded capability: every threshold test below this point
+		// computes a full exact distance. The counting and caching layers
+		// above keep working unchanged (they sit inside the wrapper).
+		m = metric.ExactOnly(m)
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	gridStart := time.Now() //lint:allow detrand build-phase wall-time gauge; timing only, never influences index content
@@ -239,7 +255,7 @@ func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, e
 	if err != nil {
 		return nil, err
 	}
-	tel, err := newEngineTelemetry(db, set, counter, cache, gridTime, o.Workers)
+	tel, err := newEngineTelemetry(db, set, counter, cache, stages, gridTime, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -251,19 +267,23 @@ func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, e
 // for the default star metric, a memoizing cache whose hit/miss totals feed
 // the same telemetry. Custom metrics are sanity-checked before wrapping so
 // the spot-check probes don't pollute the counters.
-func instrumentMetric(db *Database, custom Metric) (metric.Metric, *metric.Counter, *metric.Cache, error) {
+func instrumentMetric(db *Database, custom Metric) (metric.Metric, *metric.Counter, *metric.Cache, metric.StageCounter, error) {
 	if custom == nil {
-		counter := metric.NewCounter(metric.Star(db))
+		star := metric.Star(db)
+		counter := metric.NewCounter(star)
 		cache := metric.NewCache(counter)
-		return cache, counter, cache, nil
+		// The star metric tracks which cascade stage resolved each bounded
+		// threshold test; surface that breakdown to the telemetry layer.
+		stages, _ := star.(metric.StageCounter)
+		return cache, counter, cache, stages, nil
 	}
 	// Catch broken custom metrics early: a handful of cheap spot checks on
 	// the properties every index theorem assumes.
 	if err := sanityCheckMetric(db, custom); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	counter := metric.NewCounter(custom)
-	return counter, counter, nil, nil
+	return counter, counter, nil, nil, nil
 }
 
 // OpenWithIndex reopens a database with an index previously persisted by
@@ -286,9 +306,12 @@ func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts .
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	m, counter, cache, err := instrumentMetric(db, o.Metric)
+	m, counter, cache, stages, err := instrumentMetric(db, o.Metric)
 	if err != nil {
 		return nil, err
+	}
+	if o.DisableBoundedKernel {
+		m = metric.ExactOnly(m)
 	}
 	set, err := shard.ReadContext(ctx, r, db, m)
 	if err != nil {
@@ -297,7 +320,7 @@ func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts .
 	// No construction happened, but session initialization still fans out;
 	// honor the Workers option for it. Build-phase gauges read as zero.
 	set.SetWorkers(o.Workers)
-	tel, err := newEngineTelemetry(db, set, counter, cache, 0, o.Workers)
+	tel, err := newEngineTelemetry(db, set, counter, cache, stages, 0, o.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +383,8 @@ type TelemetryRegistry = telemetry.Registry
 type Telemetry struct {
 	reg     *telemetry.Registry
 	counter *metric.Counter
-	cache   *metric.Cache // nil when a custom metric is configured
+	cache   *metric.Cache       // nil when a custom metric is configured
+	stages  metric.StageCounter // nil when a custom metric is configured
 	nb      *nbindex.Telemetry
 	// Per-shard gauges, labelled by decimal shard index. Values are set at
 	// Open and refreshed for the last shard by Insert.
@@ -381,14 +405,49 @@ func (t *Telemetry) setShardGauges(set *shard.Set, p int) {
 // gauges, build-phase wall times, and the nbindex per-query work
 // histograms. gridTime is the θ-grid sampling phase (measured by Open,
 // which runs it before Build); workers is the configured Options.Workers.
-func newEngineTelemetry(db *Database, set *shard.Set, counter *metric.Counter, cache *metric.Cache, gridTime time.Duration, workers int) (*Telemetry, error) {
+func newEngineTelemetry(db *Database, set *shard.Set, counter *metric.Counter, cache *metric.Cache, stages metric.StageCounter, gridTime time.Duration, workers int) (*Telemetry, error) {
 	reg := telemetry.NewRegistry()
-	t := &Telemetry{reg: reg, counter: counter, cache: cache}
+	t := &Telemetry{reg: reg, counter: counter, cache: cache, stages: stages}
 	var err error
 	if err := reg.NewCounterFunc("graphrep_distance_computations_total",
 		"Exact graph distance computations issued (including index construction).",
 		counter.Count); err != nil {
 		return nil, err
+	}
+	if stages != nil {
+		// Bound-cascade breakdown of the default metric's threshold tests.
+		// Each stage name is a literal so the metricname analyzer can audit
+		// the namespace; the closures re-read the atomic counters per scrape.
+		if err := reg.NewCounterFunc("graphrep_metric_prune_size_total",
+			"Threshold tests resolved by the size/padding lower bound.",
+			func() int64 { return stages.PruneStats().Size }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_prune_histogram_total",
+			"Threshold tests resolved by the center-label histogram lower bound.",
+			func() int64 { return stages.PruneStats().Histogram }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_prune_rowmin_total",
+			"Threshold tests resolved by the row/column minima lower bound.",
+			func() int64 { return stages.PruneStats().RowMin }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_prune_greedy_total",
+			"Threshold tests resolved by the greedy-assignment upper bound.",
+			func() int64 { return stages.PruneStats().Greedy }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_prune_dual_total",
+			"Threshold tests resolved by the Hungarian dual-objective early exit.",
+			func() int64 { return stages.PruneStats().Dual }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_bounded_exact_total",
+			"Threshold tests that needed a completed Hungarian solve.",
+			func() int64 { return stages.PruneStats().BoundedExact }); err != nil {
+			return nil, err
+		}
 	}
 	if cache != nil {
 		if err := reg.NewCounterFunc("graphrep_distance_cache_hits_total",
@@ -517,7 +576,17 @@ type TelemetrySnapshot struct {
 	Queries int64
 	// QueryTotals sums the per-query QueryStats of those calls.
 	QueryTotals QueryStats
+	// Prune is the bound-cascade breakdown of the default metric's threshold
+	// tests — which stage resolved each Within decision, and how many needed
+	// a completed Hungarian solve. All zero when a custom metric is
+	// configured (no cascade) or DisableBoundedKernel is set (no bounded
+	// tests are ever issued).
+	Prune PruneStats
 }
+
+// PruneStats is the bound-cascade breakdown tracked by the default star
+// metric; see TelemetrySnapshot.Prune.
+type PruneStats = metric.PruneStats
 
 // Snapshot copies the current aggregate values. Individual fields are read
 // atomically but not as one transaction; under concurrent load the fields
@@ -532,6 +601,9 @@ func (t *Telemetry) Snapshot() TelemetrySnapshot {
 		s.CacheHits = t.cache.Hits()
 		s.CacheMisses = t.cache.Misses()
 		s.CacheEntries = t.cache.Size()
+	}
+	if t.stages != nil {
+		s.Prune = t.stages.PruneStats()
 	}
 	return s
 }

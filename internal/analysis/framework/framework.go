@@ -67,7 +67,7 @@ type Pass struct {
 }
 
 // Reportf records a finding at pos.
-func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,

@@ -3,9 +3,12 @@
 // bipartite graph-edit-distance upper bound (Riesen & Bunke) and the
 // star-matching metric distance (Zeng et al.) in internal/ged.
 //
-// Solve implements the O(n³) Jonker-style shortest augmenting path variant of
-// the Hungarian (Kuhn–Munkres) algorithm. Greedy provides a fast approximate
-// assignment used where optimality is not required.
+// The Solver type implements the O(n³) Jonker-style shortest augmenting path
+// variant of the Hungarian (Kuhn–Munkres) algorithm with reusable scratch
+// arenas, plus a threshold-bounded AtMost that aborts via the dual objective.
+// Solve is the historical one-shot entry point, now a thin wrapper over a
+// pooled Solver with bit-identical results. Greedy provides a fast
+// approximate assignment used where optimality is not required.
 package assignment
 
 import "math"
@@ -15,78 +18,13 @@ import "math"
 // cost. Solve panics if the matrix is not square. An empty matrix yields an
 // empty assignment with cost 0.
 //
-// The implementation maintains dual potentials u (rows) and v (columns) and
-// augments one row at a time along a shortest alternating path, the classic
-// O(n³) scheme.
+// It borrows a pooled Solver, so the only allocation in steady state is the
+// returned perm slice; callers that do not need the permutation should hold a
+// Solver and use Total or AtMost instead.
 func Solve(cost [][]float64) (perm []int, total float64) {
-	n := len(cost)
-	for _, row := range cost {
-		if len(row) != n {
-			panic("assignment: cost matrix is not square")
-		}
-	}
-	if n == 0 {
-		return nil, 0
-	}
-	const inf = math.MaxFloat64
-	// 1-based internal arrays simplify the augmenting-path bookkeeping.
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	p := make([]int, n+1) // p[j] = row assigned to column j (0 = none)
-	way := make([]int, n+1)
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
-		for j := 1; j <= n; j++ {
-			minv[j] = inf
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := inf
-			j1 := 0
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
-	}
-	perm = make([]int, n)
-	for j := 1; j <= n; j++ {
-		perm[p[j]-1] = j - 1
-	}
-	for i, j := range perm {
-		total += cost[i][j]
-	}
+	s := Get()
+	perm, total = s.Solve(cost)
+	Put(s)
 	return perm, total
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package assignment
+
+// raceEnabled gates allocation-count assertions: race instrumentation
+// allocates shadow state, so AllocsPerRun regressions only run without -race.
+const raceEnabled = true

@@ -1,0 +1,299 @@
+package assignment
+
+import (
+	"math"
+	"sync"
+)
+
+// Solver carries the scratch arenas (dual potentials, column assignments,
+// augmenting-path bookkeeping) for the Hungarian solve so repeated calls on
+// same-sized matrices allocate nothing. A Solver is not safe for concurrent
+// use; recycle instances through Get/Put (a sync.Pool) or keep one per
+// goroutine.
+type Solver struct {
+	u, v, minv []float64
+	p, way     []int
+	used       []bool
+}
+
+// NewSolver returns an empty Solver. Scratch grows on first use and is
+// retained for subsequent calls.
+func NewSolver() *Solver { return &Solver{} }
+
+var solverPool = sync.Pool{New: func() any { return &Solver{} }}
+
+// Get returns a Solver from the package pool.
+func Get() *Solver { return solverPool.Get().(*Solver) }
+
+// Put returns a Solver to the package pool. The caller must not use s after
+// Put.
+func Put(s *Solver) { solverPool.Put(s) }
+
+const inf = math.MaxFloat64
+
+// grow sizes the scratch arenas for an n×n matrix and resets the state that
+// persists across rows (duals and column assignments). minv/used are reset
+// per augmented row inside run.
+func (s *Solver) grow(n int) {
+	if cap(s.u) < n+1 {
+		s.u = make([]float64, n+1)
+		s.v = make([]float64, n+1)
+		s.minv = make([]float64, n+1)
+		s.p = make([]int, n+1)
+		s.way = make([]int, n+1)
+		s.used = make([]bool, n+1)
+	} else {
+		s.u = s.u[:n+1]
+		s.v = s.v[:n+1]
+		s.minv = s.minv[:n+1]
+		s.p = s.p[:n+1]
+		s.way = s.way[:n+1]
+		s.used = s.used[:n+1]
+	}
+	for j := 0; j <= n; j++ {
+		s.u[j], s.v[j], s.p[j] = 0, 0, 0
+	}
+}
+
+func checkSquare(cost [][]float64) int {
+	n := len(cost)
+	for _, row := range cost {
+		if len(row) != n {
+			panic("assignment: cost matrix is not square")
+		}
+	}
+	return n
+}
+
+// run executes the O(n³) shortest-augmenting-path Hungarian scheme, one row
+// at a time. After row i is augmented, -v[0] equals the optimal cost of
+// assigning rows 1..i alone (the partial dual objective); with non-negative
+// costs that value is a monotone lower bound on the full optimum, so when
+// bounded is set the solve aborts as soon as it exceeds tau. run reports
+// whether the solve ran to completion (false = aborted, optimum provably
+// > tau). The arithmetic is identical to the historical Solve loop, so a
+// completed run reproduces its results bit for bit.
+func (s *Solver) run(cost [][]float64, n int, tau float64, bounded bool) bool {
+	s.grow(n)
+	u, v, p, way, minv, used := s.u, s.v, s.p, s.way, s.minv, s.used
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+		if bounded && -v[0] > tau {
+			return false
+		}
+	}
+	return true
+}
+
+// totalFromState sums the assigned costs row by row — the same order Solve
+// uses — without allocating the permutation. way is dead after run, so it
+// doubles as the row→column inverse of p.
+func (s *Solver) totalFromState(cost [][]float64, n int) float64 {
+	inv := s.way
+	for j := 1; j <= n; j++ {
+		inv[s.p[j]] = j
+	}
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += cost[i-1][inv[i]-1]
+	}
+	return total
+}
+
+// Solve returns a minimum-cost assignment for the square cost matrix, as a
+// slice perm where row i is assigned to column perm[i], along with the total
+// cost. It panics if the matrix is not square; an empty matrix yields an
+// empty assignment with cost 0. Results are identical to the package-level
+// Solve (which is a pooled wrapper around this method).
+func (s *Solver) Solve(cost [][]float64) (perm []int, total float64) {
+	n := checkSquare(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	s.run(cost, n, 0, false)
+	perm = make([]int, n)
+	for j := 1; j <= n; j++ {
+		perm[s.p[j]-1] = j - 1
+	}
+	for i, j := range perm {
+		total += cost[i][j]
+	}
+	return perm, total
+}
+
+// Total returns the minimum assignment cost without materializing the
+// permutation; no allocations in steady state. The value is bit-identical to
+// the total returned by Solve.
+func (s *Solver) Total(cost [][]float64) float64 {
+	n := checkSquare(cost)
+	if n == 0 {
+		return 0
+	}
+	s.run(cost, n, 0, false)
+	return s.totalFromState(cost, n)
+}
+
+// AtMost reports whether the minimum assignment cost is ≤ tau, without
+// necessarily completing the solve: the partial dual objective after each
+// augmented row is a lower bound on the optimum, and the solve aborts the
+// moment it exceeds tau. aborted reports whether that early exit fired (in
+// which case leq is necessarily false); otherwise the decision compares the
+// completed optimum — summed exactly as Solve sums it — against tau.
+//
+// Preconditions: every cost entry must be non-negative (the partial optimum
+// is only a lower bound on the full optimum when remaining rows cannot
+// subtract cost). When every entry is additionally an integer value (as in
+// the star kernel, where costs count edit operations), all arithmetic —
+// including the accumulated duals — is exact, and AtMost(cost, tau) ⇔
+// Solve(cost) total ≤ tau holds bit for bit. With non-integral entries the
+// accumulated dual bound can drift a few ulps, so decisions within fp
+// rounding of tau may differ from comparing Solve's total.
+func (s *Solver) AtMost(cost [][]float64, tau float64) (leq, aborted bool) {
+	total, aborted := s.TotalAtMost(cost, tau)
+	if aborted {
+		return false, true
+	}
+	return total <= tau, false
+}
+
+// TotalAtMost is the value-returning form of AtMost: when the solve runs to
+// completion (aborted false) total is the exact optimum, bit-identical to
+// Solve's; when the dual bound fires (aborted true) total is the partial dual
+// objective — a proven lower bound on the optimum that already exceeds tau.
+// The same preconditions as AtMost apply.
+func (s *Solver) TotalAtMost(cost [][]float64, tau float64) (total float64, aborted bool) {
+	n := checkSquare(cost)
+	if n == 0 {
+		return 0, false
+	}
+	if !s.run(cost, n, tau, true) {
+		return -s.v[0], true
+	}
+	return s.totalFromState(cost, n), false
+}
+
+// UpperBound returns the cost of a feasible assignment built by the greedy
+// row-by-row heuristic followed by pairwise-swap polish passes, without
+// allocating. Any feasible assignment bounds the optimum from above, so
+// UpperBound(cost) ≥ Total(cost) always, and UpperBound(cost) ≤ the plain
+// GreedyTotal. The result is deterministic: ties break on the lowest column
+// index and the polish scans rows in a fixed order. The total is re-summed
+// from the final assignment in row order, so for integral costs it is the
+// exact cost of that assignment.
+func (s *Solver) UpperBound(cost [][]float64) float64 {
+	n := len(cost)
+	if n == 0 {
+		return 0
+	}
+	s.grow(n)
+	used := s.used[:n]
+	for j := range used {
+		used[j] = false
+	}
+	asg := s.p[:n] // asg[i] = column assigned to row i (0-based)
+	for i := 0; i < n; i++ {
+		best, bestJ := math.MaxFloat64, -1
+		row := cost[i]
+		for j := 0; j < n; j++ {
+			if !used[j] && row[j] < best {
+				best, bestJ = row[j], j
+			}
+		}
+		used[bestJ] = true
+		asg[i] = bestJ
+	}
+	// 2-swap polish: exchanging the columns of rows i and j keeps the
+	// assignment feasible; accept strict improvements until a full pass finds
+	// none. Greedy's mistakes are mostly pairwise (an early row grabbing a
+	// later row's best column), so a few passes close most of the gap to the
+	// optimum at O(n²) each; the pass cap keeps the worst case bounded.
+	for pass := 0; pass < 4; pass++ {
+		improved := false
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ci, cj := asg[i], asg[j]
+				if cost[i][cj]+cost[j][ci] < cost[i][ci]+cost[j][cj] {
+					asg[i], asg[j] = cj, ci
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += cost[i][asg[i]]
+	}
+	return total
+}
+
+// GreedyTotal returns the cost of the greedy row-by-row assignment — an
+// upper bound on the optimum — without allocating. Equivalent to the total
+// returned by Greedy.
+func (s *Solver) GreedyTotal(cost [][]float64) float64 {
+	n := len(cost)
+	if n == 0 {
+		return 0
+	}
+	s.grow(n)
+	used := s.used
+	for j := 0; j <= n; j++ {
+		used[j] = false
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		best, bestJ := math.MaxFloat64, -1
+		for j := 0; j < n; j++ {
+			if !used[j+1] && cost[i][j] < best {
+				best, bestJ = cost[i][j], j
+			}
+		}
+		used[bestJ+1] = true
+		total += best
+	}
+	return total
+}

@@ -1,0 +1,200 @@
+package assignment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolverMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewSolver()
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8)
+		cost := randomCost(rng, n)
+		wantPerm, wantTotal := Solve(cost)
+		gotPerm, gotTotal := s.Solve(cost)
+		if gotTotal != wantTotal {
+			t.Fatalf("trial %d: Solver total %v != Solve total %v", trial, gotTotal, wantTotal)
+		}
+		if len(gotPerm) != len(wantPerm) {
+			t.Fatalf("trial %d: perm lengths differ", trial)
+		}
+		if got := s.Total(cost); got != wantTotal {
+			t.Fatalf("trial %d: Total %v != Solve total %v", trial, got, wantTotal)
+		}
+	}
+}
+
+// integralCost mirrors the star kernel's cost domain: small non-negative
+// integers stored in float64, where all Hungarian arithmetic stays exact.
+func integralCost(rng *rand.Rand, n int) [][]float64 {
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, n)
+		for j := range c[i] {
+			c[i][j] = float64(rng.Intn(30))
+		}
+	}
+	return c
+}
+
+// The load-bearing kernel property: on integral costs (the star kernel's
+// domain), AtMost(cost, tau) decides exactly Solve(cost) total ≤ tau, for any
+// tau — including tau right at the optimum — and an aborted solve always
+// means "above tau".
+func TestAtMostMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := NewSolver()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		cost := integralCost(r, n)
+		_, opt := Solve(cost)
+		for _, tau := range []float64{opt - 1, opt - 0.5, opt, opt + 0.5, opt + 1, 0, opt / 2, opt * 2} {
+			leq, aborted := s.AtMost(cost, tau)
+			if leq != (opt <= tau) {
+				t.Logf("n=%d tau=%v opt=%v: AtMost=%v", n, tau, opt, leq)
+				return false
+			}
+			if aborted && leq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtMostEmpty(t *testing.T) {
+	s := NewSolver()
+	if leq, aborted := s.AtMost(nil, 0); !leq || aborted {
+		t.Errorf("AtMost(nil, 0) = %v, %v, want true, false", leq, aborted)
+	}
+	if leq, _ := s.AtMost(nil, -1); leq {
+		t.Error("AtMost(nil, -1) = true, want false")
+	}
+}
+
+// The dual early exit must actually fire on a clearly-over-threshold matrix;
+// otherwise the bounded path silently degrades to a full solve.
+func TestAtMostAborts(t *testing.T) {
+	n := 16
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = 10 + float64((i+j)%5)
+		}
+	}
+	s := NewSolver()
+	leq, aborted := s.AtMost(cost, 1)
+	if leq {
+		t.Fatal("AtMost reported ≤ 1 for a matrix whose optimum is ≥ 160")
+	}
+	if !aborted {
+		t.Error("dual early exit did not fire for tau far below the optimum")
+	}
+}
+
+func TestGreedyTotalMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	s := NewSolver()
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(10)
+		cost := randomCost(rng, n)
+		_, want := Greedy(cost)
+		if got := s.GreedyTotal(cost); got != want {
+			t.Fatalf("trial %d: GreedyTotal %v != Greedy total %v", trial, got, want)
+		}
+	}
+}
+
+// UpperBound must sandwich between the exact optimum and the plain greedy
+// total: it is a feasible assignment's cost (≥ optimum) that the swap polish
+// never makes worse than greedy alone.
+func TestUpperBoundSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := NewSolver()
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(12)
+		cost := integralCost(rng, n)
+		_, opt := Solve(cost)
+		greedy := s.GreedyTotal(cost)
+		ub := s.UpperBound(cost)
+		if ub < opt {
+			t.Fatalf("trial %d: UpperBound %v below optimum %v", trial, ub, opt)
+		}
+		if ub > greedy {
+			t.Fatalf("trial %d: UpperBound %v above greedy %v", trial, ub, greedy)
+		}
+	}
+}
+
+// A Solver reused across sizes (large, then small, then large) must not leak
+// state between calls.
+func TestSolverReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := NewSolver()
+	for _, n := range []int{12, 3, 12, 1, 7, 12} {
+		cost := randomCost(rng, n)
+		_, want := Solve(cost)
+		if got := s.Total(cost); got != want {
+			t.Fatalf("n=%d: reused Solver total %v != fresh Solve %v", n, got, want)
+		}
+	}
+}
+
+func TestSolverAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(37))
+	cost := randomCost(rng, 24)
+	s := NewSolver()
+	s.Total(cost) // warm the arenas
+	if allocs := testing.AllocsPerRun(50, func() { s.Total(cost) }); allocs != 0 {
+		t.Errorf("Solver.Total allocates %v per op after warmup, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { s.AtMost(cost, 1e9) }); allocs != 0 {
+		t.Errorf("Solver.AtMost allocates %v per op after warmup, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { s.GreedyTotal(cost) }); allocs != 0 {
+		t.Errorf("Solver.GreedyTotal allocates %v per op after warmup, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { s.UpperBound(cost) }); allocs != 0 {
+		t.Errorf("Solver.UpperBound allocates %v per op after warmup, want 0", allocs)
+	}
+}
+
+func BenchmarkSolverTotal32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cost := randomCost(rng, 32)
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Total(cost)
+	}
+}
+
+func BenchmarkAtMost32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cost := randomCost(rng, 32)
+	s := NewSolver()
+	_, opt := Solve(cost)
+	b.Run("prune", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.AtMost(cost, opt/4)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.AtMost(cost, opt)
+		}
+	})
+}

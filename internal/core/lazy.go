@@ -79,9 +79,9 @@ func (h lazyHeap) Less(i, j int) bool {
 	}
 	return h[i].pos < h[j].pos
 }
-func (h lazyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lazyHeap) Push(x interface{}) { *h = append(*h, x.(lazyEntry)) }
-func (h *lazyHeap) Pop() interface{} {
+func (h lazyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *lazyHeap) Push(x any)   { *h = append(*h, x.(lazyEntry)) }
+func (h *lazyHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

@@ -320,11 +320,11 @@ func LowerBound(g1, g2 *graph.Graph, c Costs) float64 {
 // stateQueue is an A* open list: a min-heap on f = g + h.
 type stateQueue []*searchState
 
-func (q stateQueue) Len() int            { return len(q) }
-func (q stateQueue) Less(i, j int) bool  { return q[i].g+q[i].h < q[j].g+q[j].h }
-func (q stateQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *stateQueue) Push(x interface{}) { *q = append(*q, x.(*searchState)) }
-func (q *stateQueue) Pop() interface{} {
+func (q stateQueue) Len() int           { return len(q) }
+func (q stateQueue) Less(i, j int) bool { return q[i].g+q[i].h < q[j].g+q[j].h }
+func (q stateQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *stateQueue) Push(x any)        { *q = append(*q, x.(*searchState)) }
+func (q *stateQueue) Pop() any {
 	old := *q
 	n := len(old)
 	x := old[n-1]

@@ -1,0 +1,7 @@
+//go:build !race
+
+package ged
+
+// raceEnabled gates allocation-count assertions: race instrumentation
+// allocates shadow state, so AllocsPerRun regressions only run without -race.
+const raceEnabled = false

@@ -1,6 +1,10 @@
 package ged
 
 import (
+	"math"
+	"sort"
+	"sync"
+
 	"graphrep/internal/assignment"
 	"graphrep/internal/graph"
 )
@@ -21,6 +25,11 @@ import (
 // itself a metric — so StarDistance satisfies the triangle inequality
 // exactly, which Theorems 3–8 of the paper rely on.
 //
+// Every ground cost is a small non-negative integer, so all arithmetic in the
+// kernel — including the threshold-bounded cascade below — is exact in
+// float64. That integrality is what makes DistanceAtMost(b, τ) equivalent to
+// Distance(b) ≤ τ bit for bit.
+//
 // StarDistance is the default database distance d(g,g') of this library and
 // corresponds to the mapping distance of the paper's GED citation [28].
 func StarDistance(g1, g2 *graph.Graph) float64 {
@@ -29,16 +38,278 @@ func StarDistance(g1, g2 *graph.Graph) float64 {
 
 // StarSig is a precomputed star decomposition, used to amortize the
 // decomposition cost when one graph participates in many distance
-// computations (as every pivot, centroid, and vantage point does).
+// computations (as every pivot, centroid, and vantage point does). It also
+// carries the sorted center-label multiset and padding-cost prefix sums that
+// power the constant- and linear-time lower bounds of DistanceAtMost.
 type StarSig struct {
 	stars []graph.Star
+	// centers is the sorted multiset of star center labels.
+	centers []graph.Label
+	// padPrefix[k] is the sum of the k smallest padding costs (1 + degree)
+	// over this graph's stars: the cheapest possible price of matching k
+	// padding stars ε against k distinct stars of this graph.
+	padPrefix []float64
 }
 
-// NewStarSig precomputes the star decomposition of g.
-func NewStarSig(g *graph.Graph) *StarSig { return &StarSig{stars: g.Stars()} }
+// NewStarSig precomputes the star decomposition of g along with the
+// lower-bound summaries.
+func NewStarSig(g *graph.Graph) *StarSig {
+	stars := g.Stars()
+	sig := &StarSig{
+		stars:     stars,
+		centers:   make([]graph.Label, len(stars)),
+		padPrefix: make([]float64, len(stars)+1),
+	}
+	pad := make([]float64, len(stars))
+	for i := range stars {
+		sig.centers[i] = stars[i].Center
+		pad[i] = 1 + float64(stars[i].Degree())
+	}
+	sort.Slice(sig.centers, func(i, j int) bool { return sig.centers[i] < sig.centers[j] })
+	sort.Float64s(pad)
+	for i, c := range pad {
+		sig.padPrefix[i+1] = sig.padPrefix[i] + c
+	}
+	return sig
+}
 
-// Distance computes the star-matching distance between two signatures.
-func (a *StarSig) Distance(b *StarSig) float64 { return starDistance(a.stars, b.stars) }
+// Distance computes the star-matching distance between two signatures. The
+// solve runs on pooled scratch, so steady-state calls allocate nothing.
+func (a *StarSig) Distance(b *StarSig) float64 {
+	n := len(a.stars)
+	if len(b.stars) > n {
+		n = len(b.stars)
+	}
+	if n == 0 {
+		return 0
+	}
+	sc := getScratch(n)
+	fillCost(sc, a.stars, b.stars, n)
+	total := sc.solver.Total(sc.cost)
+	putScratch(sc)
+	return total
+}
+
+// Stage identifies where the bounded distance cascade terminated.
+type Stage uint8
+
+const (
+	// StageSize: pruned by the size/padding lower bound (O(1)).
+	StageSize Stage = iota
+	// StageHistogram: pruned by the center-label histogram bound (O(n)).
+	StageHistogram
+	// StageRowMin: pruned by the row-minima/column-minima bound (O(n²),
+	// computed while filling the cost matrix).
+	StageRowMin
+	// StageGreedy: decided ≤ τ by the swap-polished greedy-assignment upper
+	// bound (O(n²)).
+	StageGreedy
+	// StageDual: pruned mid-solve by the Hungarian dual objective.
+	StageDual
+	// StageExact: the solve ran to completion; Lo == Hi == Distance.
+	StageExact
+	numStages
+)
+
+// NumStages is the number of cascade stages, for sizing per-stage counters.
+const NumStages = int(numStages)
+
+// String names the stage for stats output.
+func (s Stage) String() string {
+	switch s {
+	case StageSize:
+		return "size"
+	case StageHistogram:
+		return "histogram"
+	case StageRowMin:
+		return "rowmin"
+	case StageGreedy:
+		return "greedy"
+	case StageDual:
+		return "dual"
+	case StageExact:
+		return "exact"
+	}
+	return "unknown"
+}
+
+// Decision is the outcome of DistanceAtMost: the threshold verdict plus the
+// distance interval [Lo, Hi] the cascade proved along the way (Hi is +Inf
+// when no upper bound was established). Lo ≤ Distance ≤ Hi always holds, the
+// interval is exact (Lo == Hi) iff Stage == StageExact, and Leq is false only
+// when Lo > τ, true only when Hi ≤ τ.
+type Decision struct {
+	Leq   bool
+	Stage Stage
+	Lo    float64
+	Hi    float64
+}
+
+// Exact reports whether the cascade computed the exact distance.
+func (d Decision) Exact() bool { return d.Stage == StageExact }
+
+// DistanceAtMost decides Distance(a,b) ≤ tau through a cascade of provable
+// bounds, running the exact Hungarian solve only when no cheaper stage is
+// conclusive: size/padding bound → center-label histogram bound → row/column
+// minima bound → greedy upper bound → dual-bounded Hungarian. Because every
+// ground cost is a non-negative integer, the decision equals
+// Distance(a,b) ≤ tau exactly, for every tau.
+func (a *StarSig) DistanceAtMost(b *StarSig, tau float64) Decision {
+	n1, n2 := len(a.stars), len(b.stars)
+	n := n1
+	if n2 > n {
+		n = n2
+	}
+	if n == 0 {
+		return Decision{Leq: 0 <= tau, Stage: StageExact, Lo: 0, Hi: 0}
+	}
+	inf := math.Inf(1)
+
+	// Stage 1 — size/padding: the |n1−n2| padding stars must each be matched
+	// against a distinct real star of the larger graph, paying at least its
+	// 1+degree; the prefix sum gives the cheapest such total in O(1).
+	lo := 0.0
+	switch {
+	case n1 < n2:
+		lo = b.padPrefix[n2-n1]
+	case n2 < n1:
+		lo = a.padPrefix[n1-n2]
+	}
+	if lo > tau {
+		return Decision{Leq: false, Stage: StageSize, Lo: lo, Hi: inf}
+	}
+
+	// Stage 2 — center-label histogram: a star pair costs 0 only if the
+	// centers agree, and at most min(cnt1[l], cnt2[l]) pairs can agree on
+	// label l, so at least n − Σ_l min(cnt1[l], cnt2[l]) pairs cost ≥ 1.
+	if lb := float64(n - sortedCommonCount(a.centers, b.centers)); lb > lo {
+		lo = lb
+		if lo > tau {
+			return Decision{Leq: false, Stage: StageHistogram, Lo: lo, Hi: inf}
+		}
+	}
+
+	// Stage 3 — fill the cost matrix, tracking row and column minima: every
+	// row (and every column) is assigned somewhere, so both Σ_i min_j c[i][j]
+	// and Σ_j min_i c[i][j] bound the optimum from below.
+	sc := getScratch(n)
+	rowSum, colSum := fillCostWithMins(sc, a.stars, b.stars, n)
+	if lb := math.Max(rowSum, colSum); lb > lo {
+		lo = lb
+		if lo > tau {
+			putScratch(sc)
+			return Decision{Leq: false, Stage: StageRowMin, Lo: lo, Hi: inf}
+		}
+	}
+
+	// Stage 4 — greedy upper bound: any feasible assignment bounds the
+	// optimum from above, so greedy (with swap polish) ≤ τ already proves
+	// the answer.
+	if ub := sc.solver.UpperBound(sc.cost); ub <= tau {
+		putScratch(sc)
+		return Decision{Leq: true, Stage: StageGreedy, Lo: lo, Hi: ub}
+	}
+
+	// Stage 5/6 — dual-bounded Hungarian: the solve aborts as soon as its
+	// partial dual objective exceeds τ, otherwise it completes exactly.
+	total, aborted := sc.solver.TotalAtMost(sc.cost, tau)
+	putScratch(sc)
+	if aborted {
+		if total > lo {
+			lo = total
+		}
+		return Decision{Leq: false, Stage: StageDual, Lo: lo, Hi: inf}
+	}
+	return Decision{Leq: total <= tau, Stage: StageExact, Lo: total, Hi: total}
+}
+
+// starScratch is the pooled per-solve arena: the flat cost matrix plus the
+// assignment solver's own scratch. One scratch serves one solve at a time;
+// concurrency gets distinct instances from the pool.
+type starScratch struct {
+	flat   []float64
+	cost   [][]float64
+	solver *assignment.Solver
+}
+
+var starPool = sync.Pool{
+	New: func() any { return &starScratch{solver: assignment.NewSolver()} },
+}
+
+func getScratch(n int) *starScratch {
+	sc := starPool.Get().(*starScratch)
+	if cap(sc.flat) < n*n {
+		sc.flat = make([]float64, n*n)
+	}
+	sc.flat = sc.flat[:n*n]
+	if cap(sc.cost) < n {
+		sc.cost = make([][]float64, n)
+	}
+	sc.cost = sc.cost[:n]
+	for i := range sc.cost {
+		sc.cost[i] = sc.flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	return sc
+}
+
+func putScratch(sc *starScratch) { starPool.Put(sc) }
+
+// fillCost populates the n×n ground-cost matrix for the padded star multisets.
+func fillCost(sc *starScratch, s1, s2 []graph.Star, n int) {
+	for i := 0; i < n; i++ {
+		row := sc.cost[i]
+		for j := 0; j < n; j++ {
+			row[j] = starPairCost(starAt(s1, i), starAt(s2, j))
+		}
+	}
+}
+
+// fillCostWithMins populates the cost matrix while accumulating the row- and
+// column-minima sums used by the StageRowMin bound.
+func fillCostWithMins(sc *starScratch, s1, s2 []graph.Star, n int) (rowSum, colSum float64) {
+	for i := 0; i < n; i++ {
+		row := sc.cost[i]
+		a := starAt(s1, i)
+		rowMin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			c := starPairCost(a, starAt(s2, j))
+			row[j] = c
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		rowSum += rowMin
+	}
+	for j := 0; j < n; j++ {
+		colMinV := sc.cost[0][j]
+		for i := 1; i < n; i++ {
+			if c := sc.cost[i][j]; c < colMinV {
+				colMinV = c
+			}
+		}
+		colSum += colMinV
+	}
+	return rowSum, colSum
+}
+
+// sortedCommonCount returns the multiset intersection size of two sorted
+// label slices.
+func sortedCommonCount(a, b []graph.Label) int {
+	i, j, common := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return common
+}
 
 func starDistance(s1, s2 []graph.Star) float64 {
 	n := len(s1)
@@ -48,15 +319,10 @@ func starDistance(s1, s2 []graph.Star) float64 {
 	if n == 0 {
 		return 0
 	}
-	cost := make([][]float64, n)
-	flat := make([]float64, n*n)
-	for i := range cost {
-		cost[i], flat = flat[:n:n], flat[n:]
-		for j := 0; j < n; j++ {
-			cost[i][j] = starPairCost(starAt(s1, i), starAt(s2, j))
-		}
-	}
-	_, total := assignment.Solve(cost)
+	sc := getScratch(n)
+	fillCost(sc, s1, s2, n)
+	total := sc.solver.Total(sc.cost)
+	putScratch(sc)
 	return total
 }
 

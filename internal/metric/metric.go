@@ -42,6 +42,11 @@ type starMetric struct {
 	db   *graph.Database
 	mu   sync.RWMutex
 	sigs []*ged.StarSig
+	// stages[s] counts bounded decisions terminating at cascade stage s;
+	// exactValues counts plain Distance computations (always a full solve).
+	// Together they form the PruneStats breakdown (see bounded.go).
+	stages      [ged.NumStages]atomic.Int64
+	exactValues atomic.Int64
 }
 
 func (m *starMetric) sig(id graph.ID) *ged.StarSig {
@@ -65,6 +70,7 @@ func (m *starMetric) Distance(a, b graph.ID) float64 {
 	if a == b {
 		return 0
 	}
+	m.exactValues.Add(1)
 	return m.sig(a).Distance(m.sig(b))
 }
 
@@ -116,22 +122,43 @@ const cacheShards = 64
 // hammer disjoint mutexes instead of serializing on one. Hit/miss totals
 // are tracked atomically so observability layers can report cache
 // effectiveness without adding lock traffic to the hot path.
+//
+// Each entry is a monotonically tightening interval [lo, hi] around the true
+// distance, exact iff lo == hi. Distance stores exact values; the bounded
+// Within path (see bounded.go) also stores the partial intervals a pruned
+// decision proves, so a pruned test still helps later calls at nearby
+// thresholds. Merging keeps lo non-decreasing and hi non-increasing, and an
+// exact value always wins.
 type Cache struct {
 	inner        Metric
 	hits, misses atomic.Int64
 	shards       [cacheShards]cacheShard
 }
 
+// interval is one memo entry: lo ≤ d(a,b) ≤ hi, exact iff lo == hi (hi is
+// +Inf until some stage proves an upper bound). probes counts undecided
+// repeat tests — misses on a pair that already had an entry — and drives the
+// promote-to-exact policy in boundedDecide (see bounded.go).
+type interval struct {
+	lo, hi float64
+	probes uint8
+}
+
+func (e interval) exact() bool { return e.lo == e.hi }
+
 type cacheShard struct {
 	mu   sync.RWMutex
-	memo map[uint64]float64
+	memo map[uint64]interval // guarded by mu
 }
 
 // NewCache wraps m with an unbounded memo table.
 func NewCache(m Metric) *Cache {
 	c := &Cache{inner: m}
 	for i := range c.shards {
-		c.shards[i].memo = make(map[uint64]float64)
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.memo = make(map[uint64]interval)
+		sh.mu.Unlock()
 	}
 	return c
 }
@@ -151,7 +178,9 @@ func (c *Cache) shard(k uint64) *cacheShard {
 }
 
 // Distance implements Metric with memoization. Identity pairs (a == b) are
-// answered without touching the table and count as neither hit nor miss.
+// answered without touching the table and count as neither hit nor miss. An
+// interval-only entry (from a pruned Within) cannot answer a value lookup, so
+// it counts as a miss; the computed exact value then replaces the interval.
 //
 // Two goroutines that miss on the same key concurrently both compute the
 // distance and both count a miss; the metric is deterministic, so the
@@ -165,33 +194,70 @@ func (c *Cache) Distance(a, b graph.ID) float64 {
 	k := pairKey(a, b)
 	sh := c.shard(k)
 	sh.mu.RLock()
-	d, ok := sh.memo[k]
+	e, ok := sh.memo[k]
 	sh.mu.RUnlock()
-	if ok {
+	if ok && e.exact() {
 		c.hits.Add(1)
-		return d
+		return e.lo
 	}
 	c.misses.Add(1)
-	d = c.inner.Distance(a, b)
-	sh.mu.Lock()
-	sh.memo[k] = d
-	sh.mu.Unlock()
+	d := c.inner.Distance(a, b)
+	sh.store(k, d, d)
 	return d
 }
 
-// Hits returns the number of Distance calls answered from the memo table.
+// store merges a proven interval into the entry for k: lo only ever rises,
+// hi only ever falls, so entries tighten monotonically and an exact value
+// (lo == hi) is never loosened. All bounds stored for one pair sandwich the
+// same true distance, so the merge keeps lo ≤ hi.
+func (sh *cacheShard) store(k uint64, lo, hi float64) {
+	sh.mu.Lock()
+	var probes uint8
+	if e, ok := sh.memo[k]; ok {
+		if e.lo > lo {
+			lo = e.lo
+		}
+		if e.hi < hi {
+			hi = e.hi
+		}
+		probes = e.probes
+	}
+	sh.memo[k] = interval{lo: lo, hi: hi, probes: probes}
+	sh.mu.Unlock()
+}
+
+// bumpProbes increments (saturating) the undecided-repeat count of k's entry
+// and returns the new value. Zero if the entry vanished (a concurrent Clear).
+func (sh *cacheShard) bumpProbes(k uint64) uint8 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.memo[k]
+	if !ok {
+		return 0
+	}
+	if e.probes < ^uint8(0) {
+		e.probes++
+	}
+	sh.memo[k] = e
+	return e.probes
+}
+
+// Hits returns the number of calls answered from the memo table — exact
+// entries answering Distance, plus exact or interval entries conclusively
+// answering Within.
 func (c *Cache) Hits() int64 { return c.hits.Load() }
 
-// Misses returns the number of Distance calls that fell through to the
-// wrapped metric — i.e. the expensive distance computations actually issued
-// through this cache.
+// Misses returns the number of calls that fell through to the wrapped
+// metric — i.e. the expensive inner computations actually issued through
+// this cache, whether they produced a value (Distance) or a threshold
+// decision (Within).
 func (c *Cache) Misses() int64 { return c.misses.Load() }
 
-// Size returns the number of memoized pairs, summed shard by shard. Each
-// shard is read-locked briefly and in turn, so a scrape only ever contends
-// with the misses that store into the shard it is currently counting; under
-// concurrent load the sum is a point-in-time approximation (exact once
-// writes quiesce).
+// Size returns the number of memoized pairs — exact and interval-only
+// entries alike — summed shard by shard. Each shard is read-locked briefly
+// and in turn, so a scrape only ever contends with the misses that store
+// into the shard it is currently counting; under concurrent load the sum is
+// a point-in-time approximation (exact once writes quiesce).
 func (c *Cache) Size() int {
 	n := 0
 	for i := range c.shards {
@@ -203,9 +269,9 @@ func (c *Cache) Size() int {
 	return n
 }
 
-// Clear drops every memoized pair and resets the hit/miss totals. Benchmarks
-// call this between measured runs so one engine's distance computations
-// cannot subsidize another's.
+// Clear drops every memoized pair (exact and interval entries) and resets
+// the hit/miss totals. Benchmarks call this between measured runs so one
+// engine's distance computations cannot subsidize another's.
 //
 // Each shard's map pointer is swapped under its write lock (O(1); the old
 // tables are reclaimed by the GC). A Distance call whose computation is in
@@ -216,7 +282,7 @@ func (c *Cache) Clear() {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		sh.memo = make(map[uint64]float64)
+		sh.memo = make(map[uint64]interval)
 		sh.mu.Unlock()
 	}
 	c.hits.Store(0)

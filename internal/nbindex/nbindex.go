@@ -32,7 +32,6 @@
 package nbindex
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -324,7 +323,13 @@ type QueryStats struct {
 	PQPops         int
 	VerifiedLeaves int
 	CandidateScans int
-	ExactDistances int // distances issued through the session's counter
+	// ExactDistances counts threshold tests resolved by a full distance
+	// computation (or an exact cached value); PrunedDistances counts tests
+	// the bounded kernel resolved from a cheaper bound — a cascade stage or
+	// a memoized interval — without completing the exact solve. Their sum is
+	// the number of candidate threshold tests issued.
+	ExactDistances  int
+	PrunedDistances int
 }
 
 // NewSession runs the initialization phase for relevance function q,
@@ -562,10 +567,10 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 		pq := &entryHeap{}
 		root := ix.tree.Root()
 		if b := currentBound(root); b > 0 {
-			heap.Push(pq, entry{bound: b, node: root})
+			pq.push(entry{bound: b, node: root})
 		}
-		for pq.Len() > 0 {
-			e := heap.Pop(pq).(*entry)
+		for len(*pq) > 0 {
+			e := pq.pop()
 			st.PQPops++
 			// Periodic cancellation check: cheap relative to a pop (one
 			// atomic load every 256), yet bounds the abort latency of even a
@@ -586,7 +591,7 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 			// insertion.
 			if cur := currentBound(e.node); cur < e.bound {
 				if cur >= bestGain && cur > 0 {
-					heap.Push(pq, entry{bound: cur, node: e.node})
+					pq.push(entry{bound: cur, node: e.node})
 				}
 				continue
 			}
@@ -603,7 +608,7 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 			}
 			for _, c := range e.node.Children {
 				if b := currentBound(c); b > 0 && b >= bestGain {
-					heap.Push(pq, entry{bound: b, node: c})
+					pq.push(entry{bound: b, node: c})
 				}
 			}
 		}
@@ -628,9 +633,12 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 }
 
 // verify computes the exact marginal gain of graph g at threshold theta:
-// vantage candidates restricted to uncovered relevant graphs, then exact
-// distances only for those (Alg. 2 lines 8–11). It returns the gain and the
-// relevant positions that would become covered. Work is tallied into st,
+// vantage candidates restricted to uncovered relevant graphs, then threshold
+// tests only for those (Alg. 2 lines 8–11). Each test goes through
+// metric.Decide, so a bounded metric can prune it with a cheap bound instead
+// of a full distance computation — the decision is exactly d ≤ θ either way,
+// which is why answers do not depend on the kernel. It returns the gain and
+// the relevant positions that would become covered. Work is tallied into st,
 // the calling TopK's local stats.
 func (s *Session) verify(g graph.ID, theta float64, include func(graph.ID) bool, st *QueryStats) (int32, []int) {
 	st.VerifiedLeaves++
@@ -638,8 +646,13 @@ func (s *Session) verify(g graph.ID, theta float64, include func(graph.ID) bool,
 	for _, id := range s.ix.vo.Candidates(g, theta, include) {
 		st.CandidateScans++
 		if id != g {
-			st.ExactDistances++
-			if s.ix.m.Distance(g, id) > theta {
+			leq, pruned := metric.Decide(s.ix.m, g, id, theta)
+			if pruned {
+				st.PrunedDistances++
+			} else {
+				st.ExactDistances++
+			}
+			if !leq {
 				continue
 			}
 		}
@@ -654,29 +667,59 @@ type entry struct {
 	node  *nbtree.Node
 }
 
-// entryHeap is a max-heap on bound, ties toward lower node index for
-// determinism.
-type entryHeap []*entry
+// entryHeap is a typed max-heap on bound, ties toward lower node index for
+// determinism. Entries are stored by value in one slice — no container/heap,
+// no interface boxing, no per-push allocation. (bound, node.Idx) keys are
+// unique at any instant — a node is re-pushed only after its stale entry is
+// popped — so the pop order is a strict total order independent of the heap
+// implementation.
+type entryHeap []entry
 
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
+func (h entryHeap) less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound > h[j].bound
 	}
 	return h[i].node.Idx < h[j].node.Idx
 }
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x interface{}) {
-	e := x.(entry)
-	*h = append(*h, &e)
+
+// push inserts e and sifts it up.
+func (h *entryHeap) push(e entry) {
+	*h = append(*h, e)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
 }
-func (h *entryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
+
+// pop removes and returns the top entry.
+func (h *entryHeap) pop() entry {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = entry{} // release the node pointer
+	a = a[:n]
+	*h = a
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && a.less(r, c) {
+			c = r
+		}
+		if !a.less(c, i) {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	return top
 }
 
 // ChooseGridFromLog picks up to gridSize thresholds from a log of past

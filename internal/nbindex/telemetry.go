@@ -17,11 +17,12 @@ var workBuckets = telemetry.ExponentialBuckets(1, 4, 10) // 1 … 262144
 // per query. All updates are atomic; one Telemetry may be shared by any
 // number of concurrent sessions.
 type Telemetry struct {
-	Queries        *telemetry.Counter
-	PQPops         *telemetry.Histogram
-	VerifiedLeaves *telemetry.Histogram
-	CandidateScans *telemetry.Histogram
-	ExactDistances *telemetry.Histogram
+	Queries         *telemetry.Counter
+	PQPops          *telemetry.Histogram
+	VerifiedLeaves  *telemetry.Histogram
+	CandidateScans  *telemetry.Histogram
+	ExactDistances  *telemetry.Histogram
+	PrunedDistances *telemetry.Histogram
 }
 
 // NewTelemetry registers the nbindex metric family on r and returns the
@@ -50,6 +51,10 @@ func NewTelemetry(r *telemetry.Registry) (*Telemetry, error) {
 		"Exact distance computations per TopK call (the paper's central cost measure).", workBuckets); err != nil {
 		return nil, err
 	}
+	if t.PrunedDistances, err = r.NewHistogram("graphrep_nbindex_pruned_distances",
+		"Candidate threshold tests per TopK call resolved by the bounded kernel without a full solve.", workBuckets); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -66,6 +71,7 @@ func (t *Telemetry) Observe(st QueryStats) {
 	t.VerifiedLeaves.Observe(float64(st.VerifiedLeaves))
 	t.CandidateScans.Observe(float64(st.CandidateScans))
 	t.ExactDistances.Observe(float64(st.ExactDistances))
+	t.PrunedDistances.Observe(float64(st.PrunedDistances))
 }
 
 // Totals returns the cumulative sums across all observed queries, for
@@ -75,10 +81,11 @@ func (t *Telemetry) Totals() QueryStats {
 		return QueryStats{}
 	}
 	return QueryStats{
-		PQPops:         int(t.PQPops.Sum()),
-		VerifiedLeaves: int(t.VerifiedLeaves.Sum()),
-		CandidateScans: int(t.CandidateScans.Sum()),
-		ExactDistances: int(t.ExactDistances.Sum()),
+		PQPops:          int(t.PQPops.Sum()),
+		VerifiedLeaves:  int(t.VerifiedLeaves.Sum()),
+		CandidateScans:  int(t.CandidateScans.Sum()),
+		ExactDistances:  int(t.ExactDistances.Sum()),
+		PrunedDistances: int(t.PrunedDistances.Sum()),
 	}
 }
 

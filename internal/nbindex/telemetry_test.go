@@ -36,6 +36,7 @@ func TestTelemetryAggregatesQueryStats(t *testing.T) {
 		want.VerifiedLeaves += st.VerifiedLeaves
 		want.CandidateScans += st.CandidateScans
 		want.ExactDistances += st.ExactDistances
+		want.PrunedDistances += st.PrunedDistances
 	}
 	if got := tel.Queries.Value(); got != int64(len(thetas)) {
 		t.Errorf("queries = %d, want %d", got, len(thetas))

@@ -29,7 +29,7 @@ type client struct {
 	base string
 }
 
-func (c *client) post(path string, body interface{}) int {
+func (c *client) post(path string, body any) int {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		c.t.Error(err)

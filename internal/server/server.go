@@ -474,6 +474,29 @@ type StatsResponse struct {
 	Labels     int     `json:"labels"`
 	FeatureDim int     `json:"featureDim"`
 	IndexBytes int64   `json:"indexBytes"`
+	// Queries counts completed TopK calls; ExactDistances and
+	// PrunedDistances split their candidate threshold tests into ones that
+	// needed an exact distance value and ones the bounded kernel resolved
+	// from a bound alone.
+	Queries         int64 `json:"queries"`
+	ExactDistances  int   `json:"exactDistances"`
+	PrunedDistances int   `json:"prunedDistances"`
+	// Prune is the bound-cascade stage breakdown of every bounded threshold
+	// test the default metric decided (index build and queries alike); all
+	// zero with a custom metric or a disabled kernel.
+	Prune PruneResponse `json:"prune"`
+}
+
+// PruneResponse mirrors graphrep.PruneStats for the JSON API: how many
+// bounded threshold tests each cascade stage resolved, and how many fell
+// through to a completed Hungarian solve.
+type PruneResponse struct {
+	Size         int64 `json:"size"`
+	Histogram    int64 `json:"histogram"`
+	RowMin       int64 `json:"rowMin"`
+	Greedy       int64 `json:"greedy"`
+	Dual         int64 `json:"dual"`
+	BoundedExact int64 `json:"boundedExact"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -487,13 +510,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.rUnlockAll()
 	st := s.db.Stats()
+	snap := s.engine.Telemetry().Snapshot()
 	writeJSON(w, StatsResponse{
-		Graphs:     st.Graphs,
-		AvgNodes:   st.AvgNodes,
-		AvgEdges:   st.AvgEdges,
-		Labels:     st.Labels,
-		FeatureDim: s.db.FeatureDim(),
-		IndexBytes: s.engine.IndexBytes(),
+		Graphs:          st.Graphs,
+		AvgNodes:        st.AvgNodes,
+		AvgEdges:        st.AvgEdges,
+		Labels:          st.Labels,
+		FeatureDim:      s.db.FeatureDim(),
+		IndexBytes:      s.engine.IndexBytes(),
+		Queries:         snap.Queries,
+		ExactDistances:  snap.QueryTotals.ExactDistances,
+		PrunedDistances: snap.QueryTotals.PrunedDistances,
+		Prune: PruneResponse{
+			Size:         snap.Prune.Size,
+			Histogram:    snap.Prune.Histogram,
+			RowMin:       snap.Prune.RowMin,
+			Greedy:       snap.Prune.Greedy,
+			Dual:         snap.Prune.Dual,
+			BoundedExact: snap.Prune.BoundedExact,
+		},
 	})
 }
 
@@ -531,7 +566,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return false
@@ -545,7 +580,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) b
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Response already started; nothing useful to do beyond logging at

@@ -29,7 +29,7 @@ func testServer(t *testing.T) (*httptest.Server, *graphrep.Database) {
 	return ts, db
 }
 
-func postJSON(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
 	t.Helper()
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -62,6 +62,38 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Graphs != db.Len() || st.FeatureDim != db.FeatureDim() || st.IndexBytes <= 0 {
 		t.Errorf("stats = %+v", st)
 	}
+	// Index construction issues only Distance calls, so a fresh server
+	// reports zero queries and zero query-path work; the fields must still
+	// be present and zero.
+	if st.Queries != 0 || st.ExactDistances != 0 || st.PrunedDistances != 0 {
+		t.Errorf("fresh server reports query work: %+v", st)
+	}
+
+	// After one query, the work split and the cascade breakdown surface.
+	if r := postJSON(t, ts.URL+"/query", QueryRequest{
+		Relevance: RelevanceSpec{Kind: "quartile"}, Theta: 10, K: 5,
+	}, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("/query status %d", r.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 1 {
+		t.Errorf("queries = %d after one /query, want 1", st.Queries)
+	}
+	if st.ExactDistances+st.PrunedDistances == 0 {
+		t.Error("query reported no candidate threshold tests")
+	}
+	pruned := st.Prune.Size + st.Prune.Histogram + st.Prune.RowMin + st.Prune.Greedy + st.Prune.Dual
+	if pruned+st.Prune.BoundedExact == 0 {
+		t.Error("bound cascade recorded no bounded decisions")
+	}
+
 	// POST to a GET endpoint is rejected.
 	if r := postJSON(t, ts.URL+"/stats", map[string]int{}, nil); r.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST /stats status %d", r.StatusCode)

@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -11,6 +10,7 @@ import (
 	"graphrep/internal/bitset"
 	"graphrep/internal/core"
 	"graphrep/internal/graph"
+	"graphrep/internal/metric"
 	"graphrep/internal/nbindex"
 	"graphrep/internal/nbtree"
 	"graphrep/internal/pool"
@@ -272,11 +272,11 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 		for p := range parts {
 			root := parts[p].Tree().Root()
 			if b := currentBound(p, root); b > 0 {
-				heap.Push(pq, coordEntry{bound: b, part: p, node: root})
+				pq.push(coordEntry{bound: b, part: p, node: root})
 			}
 		}
-		for pq.Len() > 0 {
-			e := heap.Pop(pq).(*coordEntry)
+		for len(*pq) > 0 {
+			e := pq.pop()
 			st.PQPops++
 			if st.PQPops&255 == 0 {
 				if err := ctx.Err(); err != nil {
@@ -293,7 +293,7 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 			// insertion.
 			if cur := currentBound(e.part, e.node); cur < e.bound {
 				if cur >= bestGain && cur > 0 {
-					heap.Push(pq, coordEntry{bound: cur, part: e.part, node: e.node})
+					pq.push(coordEntry{bound: cur, part: e.part, node: e.node})
 				}
 				continue
 			}
@@ -310,7 +310,7 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 			}
 			for _, c := range e.node.Children {
 				if b := currentBound(e.part, c); b > 0 && b >= bestGain {
-					heap.Push(pq, coordEntry{bound: b, part: e.part, node: c})
+					pq.push(coordEntry{bound: b, part: e.part, node: c})
 				}
 			}
 		}
@@ -333,10 +333,11 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 
 // verify computes the exact marginal gain of graph g at threshold theta by
 // scatter-gathering: every shard is scanned with g's shared-VP coordinates
-// for candidates among its own uncovered relevant graphs, then exact
-// distances settle each. The union of shard candidate sets equals the
-// unsharded candidate set, so the gain — and the per-verify work counters —
-// match the unsharded engine exactly.
+// for candidates among its own uncovered relevant graphs, then threshold
+// tests (metric.Decide — the bounded kernel when the metric supports it)
+// settle each. The union of shard candidate sets equals the unsharded
+// candidate set, so the gain — and the per-verify work counters — match the
+// unsharded engine exactly.
 func (s *coordSession) verify(g graph.ID, theta float64, include func(graph.ID) bool, st *nbindex.QueryStats) (int32, []int) {
 	st.VerifiedLeaves++
 	coords := s.set.parts[s.set.PartFor(g)].VO().Coords(g)
@@ -345,8 +346,13 @@ func (s *coordSession) verify(g graph.ID, theta float64, include func(graph.ID) 
 		for _, id := range part.VO().CandidatesCoords(coords, theta, include) {
 			st.CandidateScans++
 			if id != g {
-				st.ExactDistances++
-				if s.set.m.Distance(g, id) > theta {
+				leq, pruned := metric.Decide(s.set.m, g, id, theta)
+				if pruned {
+					st.PrunedDistances++
+				} else {
+					st.ExactDistances++
+				}
+				if !leq {
 					continue
 				}
 			}
@@ -405,12 +411,15 @@ type coordEntry struct {
 	node  *nbtree.Node
 }
 
-// coordHeap is a max-heap on bound; ties order by (shard, node index) so the
-// search trace is deterministic for any worker count.
-type coordHeap []*coordEntry
+// coordHeap is a typed max-heap on bound; ties order by (shard, node index)
+// so the search trace is deterministic for any worker count. Entries are
+// stored by value — no container/heap, no interface boxing, no per-push
+// allocation. (bound, part, node.Idx) keys are unique at any instant (a node
+// is re-pushed only after its stale entry is popped), so the pop order is a
+// strict total order independent of the heap implementation.
+type coordHeap []coordEntry
 
-func (h coordHeap) Len() int { return len(h) }
-func (h coordHeap) Less(i, j int) bool {
+func (h coordHeap) less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound > h[j].bound
 	}
@@ -419,16 +428,43 @@ func (h coordHeap) Less(i, j int) bool {
 	}
 	return h[i].node.Idx < h[j].node.Idx
 }
-func (h coordHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *coordHeap) Push(x interface{}) {
-	e := x.(coordEntry)
-	*h = append(*h, &e)
+
+// push inserts e and sifts it up.
+func (h *coordHeap) push(e coordEntry) {
+	*h = append(*h, e)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
 }
-func (h *coordHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
+
+// pop removes and returns the top entry.
+func (h *coordHeap) pop() coordEntry {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = coordEntry{} // release the node pointer
+	a = a[:n]
+	*h = a
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && a.less(r, c) {
+			c = r
+		}
+		if !a.less(c, i) {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	return top
 }

@@ -150,6 +150,79 @@ func TestShardWorkerEquality(t *testing.T) {
 	}
 }
 
+// TestBoundedKernelAnswerEquality is the kernel's core acceptance contract:
+// with the bounded distance kernel on (default) and off
+// (DisableBoundedKernel), answers, sweep curves, and persisted index bytes
+// are byte-identical — at every shard count and worker count. The kernel may
+// only change how a threshold decision is reached, never the decision.
+func TestBoundedKernelAnswerEquality(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			type run struct {
+				disabled bool
+				answers  []answer
+				stats    []graphrep.QueryStats
+				points   []graphrep.ThetaPoint
+				blob     []byte
+			}
+			var runs []run
+			for _, disabled := range []bool{false, true} {
+				engine, err := graphrep.Open(db, graphrep.Options{
+					Seed: 5, Shards: shards, Workers: workers,
+					DisableBoundedKernel: disabled,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := engine.SaveIndex(&buf); err != nil {
+					t.Fatal(err)
+				}
+				answers, stats, points := collectAnswers(t, engine, 5)
+				runs = append(runs, run{disabled, answers, stats, points, buf.Bytes()})
+				snap := engine.Telemetry().Snapshot()
+				if disabled && snap.Prune.Pruned()+snap.Prune.BoundedExact != 0 {
+					t.Errorf("shards=%d workers=%d: disabled kernel still made bounded decisions: %+v",
+						shards, workers, snap.Prune)
+				}
+				if !disabled && snap.QueryTotals.PrunedDistances == 0 {
+					t.Errorf("shards=%d workers=%d: bounded kernel pruned nothing on the query path",
+						shards, workers)
+				}
+			}
+			on, off := runs[0], runs[1]
+			if !bytes.Equal(on.blob, off.blob) {
+				t.Errorf("shards=%d workers=%d: index bytes differ with kernel on vs off", shards, workers)
+			}
+			if !reflect.DeepEqual(on.answers, off.answers) {
+				t.Errorf("shards=%d workers=%d: answers differ with kernel on vs off:\n on %+v\noff %+v",
+					shards, workers, on.answers, off.answers)
+			}
+			if !reflect.DeepEqual(on.points, off.points) {
+				t.Errorf("shards=%d workers=%d: sweep curves differ with kernel on vs off", shards, workers)
+			}
+			// The split between pruned and exact differs by design, but the
+			// total candidate tests per query must not.
+			for i := range on.stats {
+				a, b := on.stats[i], off.stats[i]
+				if a.PQPops != b.PQPops || a.VerifiedLeaves != b.VerifiedLeaves ||
+					a.CandidateScans != b.CandidateScans ||
+					a.ExactDistances+a.PrunedDistances != b.ExactDistances+b.PrunedDistances {
+					t.Errorf("shards=%d workers=%d query %d: work shape differs with kernel on vs off:\n on %+v\noff %+v",
+						shards, workers, i, a, b)
+				}
+				if b.PrunedDistances != 0 {
+					t.Errorf("shards=%d workers=%d query %d: disabled kernel reported pruned distances", shards, workers, i)
+				}
+			}
+		}
+	}
+}
+
 // TestSaveIndexShardRoundTrip persists a multi-shard index and reloads it:
 // the shard count survives, the answers match the original engine, and
 // re-saving reproduces the same bytes.

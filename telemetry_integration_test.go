@@ -47,6 +47,7 @@ func TestEngineTelemetryMatchesQueryStats(t *testing.T) {
 			want.VerifiedLeaves += st.VerifiedLeaves
 			want.CandidateScans += st.CandidateScans
 			want.ExactDistances += st.ExactDistances
+			want.PrunedDistances += st.PrunedDistances
 			queries++
 		}
 	}
@@ -68,7 +69,8 @@ func TestEngineTelemetryMatchesQueryStats(t *testing.T) {
 	// LastStats, so compare against the session-summed floor per field and
 	// the exact total for the histogram count.
 	if got.PQPops < want.PQPops || got.VerifiedLeaves < want.VerifiedLeaves ||
-		got.CandidateScans < want.CandidateScans || got.ExactDistances < want.ExactDistances {
+		got.CandidateScans < want.CandidateScans || got.ExactDistances < want.ExactDistances ||
+		got.PrunedDistances < want.PrunedDistances {
 		t.Errorf("QueryTotals = %+v, want at least %+v", got, want)
 	}
 
@@ -110,6 +112,7 @@ func TestEngineTelemetryMatchesQueryStats(t *testing.T) {
 		want2.VerifiedLeaves += st.VerifiedLeaves
 		want2.CandidateScans += st.CandidateScans
 		want2.ExactDistances += st.ExactDistances
+		want2.PrunedDistances += st.PrunedDistances
 	}
 	snap2 := engine2.Telemetry().Snapshot()
 	if snap2.QueryTotals != want2 {
@@ -150,10 +153,24 @@ func TestEngineTelemetryExposition(t *testing.T) {
 		"graphrep_nbindex_queries_total 1",
 		"graphrep_nbindex_pq_pops_bucket",
 		"graphrep_nbindex_exact_distances_count 1",
+		"graphrep_nbindex_pruned_distances_count 1",
+		"graphrep_metric_prune_size_total",
+		"graphrep_metric_prune_histogram_total",
+		"graphrep_metric_prune_rowmin_total",
+		"graphrep_metric_prune_greedy_total",
+		"graphrep_metric_prune_dual_total",
+		"graphrep_metric_bounded_exact_total",
 	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("exposition missing %q:\n%s", name, out)
 		}
+	}
+	// The bounded kernel must actually have pruned something on the query
+	// path: the per-query pruned counter and the cascade stage totals agree
+	// that work was avoided.
+	snap := engine.Telemetry().Snapshot()
+	if snap.Prune.Pruned() == 0 {
+		t.Error("bound cascade recorded no pruned decisions")
 	}
 }
 
@@ -183,5 +200,11 @@ func TestTelemetryCustomMetric(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "graphrep_distance_cache_hits_total") {
 		t.Error("cache metrics registered without a cache")
+	}
+	if strings.Contains(sb.String(), "graphrep_metric_prune_size_total") {
+		t.Error("bound-cascade metrics registered without the default metric")
+	}
+	if snap.Prune != (graphrep.PruneStats{}) {
+		t.Errorf("custom metric reported cascade stats: %+v", snap.Prune)
 	}
 }
