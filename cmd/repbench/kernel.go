@@ -12,22 +12,37 @@ import (
 )
 
 // The -bench-kernel mode: measure what the threshold-aware distance kernel
-// saves on the query path. The same database and the same query workload
-// (a θ sweep plus a TopK at every swept threshold) run twice — once with the
-// bounded kernel (the default) and once with Options.DisableBoundedKernel —
-// and the report compares how many completed Hungarian solves each side
-// issued after the index was built. Answers must be byte-identical across
-// the two runs; benchKernel fails loudly if they are not, since that would
-// violate the kernel's core contract (Within ⇔ Distance ≤ θ).
+// saves on the query path. For each database size, the same query workload
+// (a θ sweep plus a TopK at every swept threshold) runs with the bounded
+// kernel (the default) and with Options.DisableBoundedKernel — two
+// interleaved passes per side, keeping each side's faster pass — and the
+// report compares wall time and completed Hungarian solves after the index
+// was built. Answers must be byte-identical across the two runs;
+// benchKernel fails loudly if they are not, since that would violate the
+// kernel's core contract (Within ⇔ Distance ≤ θ).
+//
+// benchKernel is also a regression gate: it returns an error — repbench exits
+// non-zero — when the bounded side is not strictly faster than the exact side
+// on the query path at any size. A kernel that prunes solves but loses wall
+// time is a regression (this happened: the pre-embedding cascade spent more
+// on per-pair O(n²) bound work than it saved), and the gate keeps it from
+// landing silently.
 
 // KernelPrune is the bound-cascade breakdown of one side's run.
 type KernelPrune struct {
-	Size         int64 `json:"size"`
-	Histogram    int64 `json:"histogram"`
-	RowMin       int64 `json:"rowMin"`
+	Embedding int64 `json:"embedding"`
+	RowMin    int64 `json:"rowMin"`
+	// RowMinSolved is the subset of RowMin that spent a hardening solve
+	// (shallow miss); see metric.PruneStats.
+	RowMinSolved int64 `json:"rowMinSolved"`
 	Greedy       int64 `json:"greedy"`
 	Dual         int64 `json:"dual"`
 	BoundedExact int64 `json:"boundedExact"`
+	// GreedyTried / DualArmed are the adaptive tier gates' attempt
+	// denominators (see metric.PruneStats); a denominator far below
+	// BoundedExact means the gate retired the tier mid-run.
+	GreedyTried int64 `json:"greedyTried"`
+	DualArmed   int64 `json:"dualArmed"`
 }
 
 // KernelBenchSide is one configuration's measurements. Full solves are
@@ -44,14 +59,10 @@ type KernelBenchSide struct {
 	Prune           KernelPrune `json:"prune"`
 }
 
-// KernelBenchReport is the full -bench-kernel output.
-type KernelBenchReport struct {
-	Dataset string    `json:"dataset"`
-	N       int       `json:"n"`
-	Seed    int64     `json:"seed"`
-	K       int       `json:"k"`
-	Thetas  []float64 `json:"thetas"`
-	Workers int       `json:"workers"` // resolved GOMAXPROCS at run time
+// KernelBenchRun is the on/off comparison at one database size.
+type KernelBenchRun struct {
+	N      int       `json:"n"`
+	Thetas []float64 `json:"thetas"`
 
 	Bounded KernelBenchSide `json:"bounded"`
 	Exact   KernelBenchSide `json:"exact"`
@@ -59,6 +70,19 @@ type KernelBenchReport struct {
 	// full solves — how many times fewer complete Hungarian runs the bounded
 	// kernel needed for the identical workload and identical answers.
 	SolveReduction float64 `json:"query_full_solve_reduction"`
+	// QuerySpeedup is exact query_ns over bounded query_ns: > 1 means the
+	// kernel wins wall time, which the regression gate requires.
+	QuerySpeedup float64 `json:"query_speedup"`
+}
+
+// KernelBenchReport is the full -bench-kernel output.
+type KernelBenchReport struct {
+	Dataset string `json:"dataset"`
+	Seed    int64  `json:"seed"`
+	K       int    `json:"k"`
+	Workers int    `json:"workers"` // resolved GOMAXPROCS at run time
+
+	Runs []KernelBenchRun `json:"runs"`
 }
 
 // kernelAnswers is one side's complete answer transcript, compared verbatim
@@ -68,52 +92,101 @@ type kernelAnswers struct {
 	answers [][]graphrep.ID
 }
 
-// benchKernel runs the kernel on/off comparison over a database of n graphs
-// and writes the JSON report to outPath and a summary to w.
-func benchKernel(w io.Writer, outPath string, n int) error {
+// benchKernel runs the kernel on/off comparison at every requested database
+// size, writes the JSON report to outPath and a summary to w, then applies
+// the regression gate: an error is returned (non-zero exit) unless the
+// bounded side was strictly faster on the query path at every size.
+// benchKernelReps is the interleaved pass count per side; see the pass loop.
+const benchKernelReps = 3
+
+func benchKernel(w io.Writer, outPath string, sizes []int) error {
 	const (
 		dataset = "dud"
 		seed    = int64(1)
 		k       = 5
 	)
-	db, err := graphrep.GenerateDataset(dataset, n, seed)
-	if err != nil {
-		return err
-	}
-	rel := graphrep.FirstQuartileRelevance(db, nil)
 	report := KernelBenchReport{
-		Dataset: dataset, N: n, Seed: seed, K: k,
+		Dataset: dataset, Seed: seed, K: k,
 		Workers: runtime.GOMAXPROCS(0),
 	}
+	var slow []int
+	for _, n := range sizes {
+		db, err := graphrep.GenerateDataset(dataset, n, seed)
+		if err != nil {
+			return err
+		}
+		rel := graphrep.FirstQuartileRelevance(db, nil)
+		run := KernelBenchRun{N: n}
 
-	bounded, boundedRes, err := runKernelSide(db, rel, k, graphrep.Options{Seed: seed})
-	if err != nil {
-		return err
-	}
-	exact, exactRes, err := runKernelSide(db, rel, k, graphrep.Options{Seed: seed, DisableBoundedKernel: true})
-	if err != nil {
-		return err
-	}
-	if err := compareKernelAnswers(boundedRes, exactRes); err != nil {
-		return fmt.Errorf("bounded kernel changed an answer: %w", err)
-	}
-	for _, p := range boundedRes.sweep {
-		report.Thetas = append(report.Thetas, p.Theta)
-	}
-	report.Bounded, report.Exact = bounded, exact
-	if bounded.QueryFullSolves > 0 {
-		report.SolveReduction = float64(exact.QueryFullSolves) / float64(bounded.QueryFullSolves)
-	}
+		// Each side runs benchKernelReps times in interleaved order and keeps
+		// its fastest pass: whichever configuration is measured first pays the
+		// process's cold-start costs (first-touch page faults, heap growth to
+		// the workload's steady state), scheduler noise hits passes at random,
+		// and the gate should compare kernels, not either artifact — the
+		// per-side minimum tightens toward the true cost as passes accumulate.
+		// Every pass of a side is fully deterministic — identical answers and
+		// solve counts — which compareKernelAnswers checks across all
+		// transcripts.
+		var bounded, exact KernelBenchSide
+		var boundedRes, exactRes kernelAnswers
+		for rep := 0; rep < benchKernelReps; rep++ {
+			b, bRes, err := runKernelSide(db, rel, k, graphrep.Options{Seed: seed})
+			if err != nil {
+				return err
+			}
+			e, eRes, err := runKernelSide(db, rel, k, graphrep.Options{Seed: seed, DisableBoundedKernel: true})
+			if err != nil {
+				return err
+			}
+			if rep == 0 {
+				bounded, boundedRes, exact, exactRes = b, bRes, e, eRes
+				if err := compareKernelAnswers(boundedRes, exactRes); err != nil {
+					return fmt.Errorf("n=%d: bounded vs exact transcripts differ: %w", n, err)
+				}
+				continue
+			}
+			if err := compareKernelAnswers(boundedRes, bRes); err != nil {
+				return fmt.Errorf("n=%d: bounded repeat %d transcripts differ: %w", n, rep, err)
+			}
+			if err := compareKernelAnswers(exactRes, eRes); err != nil {
+				return fmt.Errorf("n=%d: exact repeat %d transcripts differ: %w", n, rep, err)
+			}
+			if b.QueryNs < bounded.QueryNs {
+				b.BuildNs = bounded.BuildNs // keep the cold build figure
+				bounded = b
+			}
+			if e.QueryNs < exact.QueryNs {
+				e.BuildNs = exact.BuildNs
+				exact = e
+			}
+		}
+		for _, p := range boundedRes.sweep {
+			run.Thetas = append(run.Thetas, p.Theta)
+		}
+		run.Bounded, run.Exact = bounded, exact
+		if bounded.QueryFullSolves > 0 {
+			run.SolveReduction = float64(exact.QueryFullSolves) / float64(bounded.QueryFullSolves)
+		}
+		if bounded.QueryNs > 0 {
+			run.QuerySpeedup = float64(exact.QueryNs) / float64(bounded.QueryNs)
+		}
+		report.Runs = append(report.Runs, run)
 
-	fmt.Fprintf(w, "kernel on:  build %v, query %v, %d query-path full solves (%d pruned)\n",
-		time.Duration(bounded.BuildNs).Round(time.Microsecond),
-		time.Duration(bounded.QueryNs).Round(time.Microsecond),
-		bounded.QueryFullSolves, bounded.QueryPruned)
-	fmt.Fprintf(w, "kernel off: build %v, query %v, %d query-path full solves\n",
-		time.Duration(exact.BuildNs).Round(time.Microsecond),
-		time.Duration(exact.QueryNs).Round(time.Microsecond),
-		exact.QueryFullSolves)
-	fmt.Fprintf(w, "answers identical; full-solve reduction %.1f×\n", report.SolveReduction)
+		fmt.Fprintf(w, "n=%d\n", n)
+		fmt.Fprintf(w, "  kernel on:  build %v, query %v, %d query-path full solves (%d pruned)\n",
+			time.Duration(bounded.BuildNs).Round(time.Microsecond),
+			time.Duration(bounded.QueryNs).Round(time.Microsecond),
+			bounded.QueryFullSolves, bounded.QueryPruned)
+		fmt.Fprintf(w, "  kernel off: build %v, query %v, %d query-path full solves\n",
+			time.Duration(exact.BuildNs).Round(time.Microsecond),
+			time.Duration(exact.QueryNs).Round(time.Microsecond),
+			exact.QueryFullSolves)
+		fmt.Fprintf(w, "  answers identical; full-solve reduction %.1f×, query speedup %.2f×\n",
+			run.SolveReduction, run.QuerySpeedup)
+		if bounded.QueryNs >= exact.QueryNs {
+			slow = append(slow, n)
+		}
+	}
 
 	f, err := os.Create(outPath)
 	if err != nil {
@@ -129,6 +202,12 @@ func benchKernel(w io.Writer, outPath string, n int) error {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", outPath)
+	for _, n := range slow {
+		fmt.Fprintf(w, "REGRESSION: bounded query path not faster than exact at n=%d\n", n)
+	}
+	if len(slow) > 0 {
+		return fmt.Errorf("bounded kernel regressed query wall time at n=%v", slow)
+	}
 	return nil
 }
 
@@ -168,12 +247,14 @@ func runKernelSide(db *graphrep.Database, rel graphrep.Relevance, k int, opts gr
 	side.QueryFullSolves = snap.Prune.FullSolves() - side.BuildFullSolves
 	side.QueryPruned = snap.Prune.Pruned() - built.Prune.Pruned()
 	side.Prune = KernelPrune{
-		Size:         snap.Prune.Size,
-		Histogram:    snap.Prune.Histogram,
+		Embedding:    snap.Prune.Embedding,
 		RowMin:       snap.Prune.RowMin,
+		RowMinSolved: snap.Prune.RowMinSolved,
 		Greedy:       snap.Prune.Greedy,
 		Dual:         snap.Prune.Dual,
 		BoundedExact: snap.Prune.BoundedExact,
+		GreedyTried:  snap.Prune.GreedyTried,
+		DualArmed:    snap.Prune.DualArmed,
 	}
 	return side, res, nil
 }

@@ -10,6 +10,11 @@
 //	repbench -bench-shards BENCH_shards.json
 //	repbench -bench-shards smoke.json -shards 2 -bench-n 200
 //	repbench -bench-kernel BENCH_kernel.json -bench-n 400
+//	repbench -bench-kernel BENCH_kernel.json -bench-sizes 400,4000
+//
+// -bench-kernel doubles as a regression gate: the process exits non-zero
+// when the bounded kernel's query path is not strictly faster than the
+// exact baseline at any benchmarked size.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"graphrep/internal/experiments"
 )
@@ -31,6 +38,7 @@ func main() {
 		benchKern   = flag.String("bench-kernel", "", "run the bounded-kernel on/off comparison and write the JSON report to this file (skips experiments)")
 		shards      = flag.Int("shards", 0, "with -bench-shards: benchmark only this shard count (0 = the 1/2/4 sweep)")
 		benchShardN = flag.Int("bench-n", 400, "with -bench-shards/-bench-kernel: benchmark database size")
+		benchSizes  = flag.String("bench-sizes", "", "with -bench-kernel: comma-separated database sizes (overrides -bench-n)")
 	)
 	flag.Parse()
 	if *shards < 0 {
@@ -52,8 +60,22 @@ func main() {
 		}
 		return
 	}
+	if *benchSizes != "" && *benchKern == "" {
+		usageError("-bench-sizes requires -bench-kernel")
+	}
 	if *benchKern != "" {
-		if err := benchKernel(os.Stdout, *benchKern, *benchShardN); err != nil {
+		sizes := []int{*benchShardN}
+		if *benchSizes != "" {
+			sizes = sizes[:0]
+			for _, s := range strings.Split(*benchSizes, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n <= 0 {
+					usageError("-bench-sizes: bad size %q", s)
+				}
+				sizes = append(sizes, n)
+			}
+		}
+		if err := benchKernel(os.Stdout, *benchKern, sizes); err != nil {
 			fatal(err)
 		}
 		return

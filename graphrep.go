@@ -153,8 +153,8 @@ type Options struct {
 	Shards int
 	// DisableBoundedKernel turns off the threshold-aware distance kernel:
 	// every candidate test d(q, g) ≤ θ falls back to a full exact distance
-	// computation instead of the bound cascade (size/padding, label
-	// histogram, row-minima, greedy upper bound, Hungarian dual early exit).
+	// computation instead of the bound cascade (precomputed-embedding filter,
+	// row-minima, greedy upper bound, Hungarian dual early exit).
 	// Answers, sweeps, and index bytes are byte-identical either way — the
 	// kernel only ever changes how a decision is reached, never the decision —
 	// so this switch exists for baseline benchmarks (repbench -bench-kernel
@@ -255,11 +255,28 @@ func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, e
 	if err != nil {
 		return nil, err
 	}
+	primeEmbeddings(set, stages)
 	tel, err := newEngineTelemetry(db, set, counter, cache, stages, gridTime, o.Workers)
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{db: db, m: m, set: set, tel: tel}, nil
+}
+
+// primeEmbeddings hands the per-shard filter embeddings carried by the index
+// (built or loaded) to the default metric, so threshold tests on far pairs
+// resolve from the cached vectors without ever materializing a star
+// signature. A no-op for custom metrics (stages is nil) — they have no
+// embedding tier.
+func primeEmbeddings(set *shard.Set, stages metric.StageCounter) {
+	p, ok := stages.(metric.EmbeddingPrimer)
+	if !ok {
+		return
+	}
+	for i := 0; i < set.Shards(); i++ {
+		part := set.Part(i)
+		p.PrimeEmbeddings(part.Base(), part.Embeddings())
+	}
 }
 
 // instrumentMetric wraps the configured metric for observability: a counting
@@ -289,8 +306,10 @@ func instrumentMetric(db *Database, custom Metric) (metric.Metric, *metric.Count
 // OpenWithIndex reopens a database with an index previously persisted by
 // SaveIndex, skipping index construction entirely. The database must be the
 // same one the index was built over. It is OpenWithIndexContext with no
-// cancellation. Both current (v2, sharded) and pre-shard (v1) index files
-// load; a v1 file comes up as a single shard with identical answers.
+// cancellation. Current (v3, sharded with filter embeddings), pre-embedding
+// (v2), and pre-shard (v1) index files all load; older files come up with
+// their embeddings recomputed from the database (v1 as a single shard) and
+// answer identically.
 func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) {
 	return OpenWithIndexContext(context.Background(), db, r, opts...)
 }
@@ -320,6 +339,7 @@ func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts .
 	// No construction happened, but session initialization still fans out;
 	// honor the Workers option for it. Build-phase gauges read as zero.
 	set.SetWorkers(o.Workers)
+	primeEmbeddings(set, stages)
 	tel, err := newEngineTelemetry(db, set, counter, cache, stages, 0, o.Workers)
 	if err != nil {
 		return nil, err
@@ -328,8 +348,9 @@ func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts .
 }
 
 // SaveIndex persists the engine's NB-Index so a later OpenWithIndex can skip
-// construction (the offline step of Fig. 6(k)). The format (v2) records every
-// shard; OpenWithIndex restores the same shard layout.
+// construction (the offline step of Fig. 6(k)). The format (v3) records every
+// shard along with its filter embeddings; OpenWithIndex restores the same
+// shard layout and hands the embeddings straight to the metric.
 func (e *Engine) SaveIndex(w io.Writer) error { return e.set.Encode(w) }
 
 // Shards returns the number of index shards (1 unless Options.Shards asked
@@ -361,8 +382,14 @@ func (e *Engine) Insert(g *Graph) error {
 	if err := e.set.Insert(g.ID()); err != nil {
 		return err
 	}
-	// Only the last shard grew; refresh its gauges.
-	e.tel.setShardGauges(e.set, e.set.Shards()-1)
+	// Only the last shard grew: refresh its gauges and hand the new graph's
+	// filter embedding to the metric (already-cached vectors are kept).
+	last := e.set.Shards() - 1
+	e.tel.setShardGauges(e.set, last)
+	if p, ok := e.tel.stages.(metric.EmbeddingPrimer); ok {
+		part := e.set.Part(last)
+		p.PrimeEmbeddings(part.Base(), part.Embeddings())
+	}
 	return nil
 }
 
@@ -418,19 +445,19 @@ func newEngineTelemetry(db *Database, set *shard.Set, counter *metric.Counter, c
 		// Bound-cascade breakdown of the default metric's threshold tests.
 		// Each stage name is a literal so the metricname analyzer can audit
 		// the namespace; the closures re-read the atomic counters per scrape.
-		if err := reg.NewCounterFunc("graphrep_metric_prune_size_total",
-			"Threshold tests resolved by the size/padding lower bound.",
-			func() int64 { return stages.PruneStats().Size }); err != nil {
-			return nil, err
-		}
-		if err := reg.NewCounterFunc("graphrep_metric_prune_histogram_total",
-			"Threshold tests resolved by the center-label histogram lower bound.",
-			func() int64 { return stages.PruneStats().Histogram }); err != nil {
+		if err := reg.NewCounterFunc("graphrep_metric_prune_embedding_total",
+			"Threshold tests resolved by the precomputed-embedding lower bound.",
+			func() int64 { return stages.PruneStats().Embedding }); err != nil {
 			return nil, err
 		}
 		if err := reg.NewCounterFunc("graphrep_metric_prune_rowmin_total",
-			"Threshold tests resolved by the row/column minima lower bound.",
+			"Threshold tests decided by the row-minima lower bound.",
 			func() int64 { return stages.PruneStats().RowMin }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_rowmin_solved_total",
+			"Row-minima decisions that also completed a hardening Hungarian solve.",
+			func() int64 { return stages.PruneStats().RowMinSolved }); err != nil {
 			return nil, err
 		}
 		if err := reg.NewCounterFunc("graphrep_metric_prune_greedy_total",
@@ -446,6 +473,16 @@ func newEngineTelemetry(db *Database, set *shard.Set, counter *metric.Counter, c
 		if err := reg.NewCounterFunc("graphrep_metric_bounded_exact_total",
 			"Threshold tests that needed a completed Hungarian solve.",
 			func() int64 { return stages.PruneStats().BoundedExact }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_greedy_tried_total",
+			"Threshold tests on which the greedy upper-bound tier ran (adaptive gate attempt denominator).",
+			func() int64 { return stages.PruneStats().GreedyTried }); err != nil {
+			return nil, err
+		}
+		if err := reg.NewCounterFunc("graphrep_metric_dual_armed_total",
+			"Exact solves run with the dual abort armed (adaptive gate attempt denominator).",
+			func() int64 { return stages.PruneStats().DualArmed }); err != nil {
 			return nil, err
 		}
 	}

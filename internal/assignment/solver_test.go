@@ -1,6 +1,7 @@
 package assignment
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -133,6 +134,103 @@ func TestUpperBoundSandwich(t *testing.T) {
 	}
 }
 
+// TotalWarm's warm start must be a pure speedup: whatever partial matching
+// the zero-reduced-cost pre-match happens to build, the returned optimum is
+// bit-identical to Total's on integral costs. Tight moduli force heavy cost
+// ties — the regime where the pre-match claims most rows and tie-broken
+// assignments diverge from the cold solve's.
+func TestTotalWarmMatchesTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cold, warm := NewSolver(), NewSolver()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		modulus := 1 + r.Intn(30)
+		cost := make([][]float64, n)
+		rowMin := make([]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			m := math.MaxFloat64
+			for j := range cost[i] {
+				cost[i][j] = float64(r.Intn(modulus))
+				if cost[i][j] < m {
+					m = cost[i][j]
+				}
+			}
+			rowMin[i] = m
+		}
+		want := cold.Total(cost)
+		if got := warm.TotalWarm(cost, rowMin); got != want {
+			t.Logf("seed=%d n=%d mod=%d: TotalWarm %v != Total %v", seed, n, modulus, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalWarmEmpty(t *testing.T) {
+	s := NewSolver()
+	if got := s.TotalWarm(nil, nil); got != 0 {
+		t.Errorf("TotalWarm(nil) = %v, want 0", got)
+	}
+}
+
+// The fused greedy+minima scan must agree with its unfused halves: rowMin
+// holds the exact per-row minima, rowSum is the assignment-relaxed lower
+// bound (≤ optimum), ub is a feasible assignment's cost (≥ optimum), and
+// whenever the rowSum short-circuit cannot fire the value is bit-identical to
+// UpperBoundAtMost at the same tau.
+func TestUpperBoundAtMostWithMinsAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	plain, fused := NewSolver(), NewSolver()
+	rowMin := make([]float64, 16)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		cost := integralCost(rng, n)
+		_, opt := Solve(cost)
+		for _, tau := range []float64{-1, 0, opt / 2, opt - 1, opt, opt + 1, 2 * opt, math.Inf(-1)} {
+			ub, rowSum := fused.UpperBoundAtMostWithMins(cost, tau, rowMin)
+			wantSum := 0.0
+			for i := 0; i < n; i++ {
+				m := cost[i][0]
+				for _, v := range cost[i][1:] {
+					if v < m {
+						m = v
+					}
+				}
+				if rowMin[i] != m {
+					t.Fatalf("trial %d n=%d: rowMin[%d] = %v, want row minimum %v", trial, n, i, rowMin[i], m)
+				}
+				wantSum += m
+			}
+			if rowSum != wantSum {
+				t.Fatalf("trial %d tau=%v: rowSum %v != Σ row minima %v", trial, tau, rowSum, wantSum)
+			}
+			if rowSum > opt {
+				t.Fatalf("trial %d: rowSum %v above optimum %v — not a lower bound", trial, rowSum, opt)
+			}
+			if ub < opt {
+				t.Fatalf("trial %d tau=%v: ub %v below optimum %v — not a feasible assignment's cost", trial, tau, ub, opt)
+			}
+			if rowSum <= tau {
+				if want := plain.UpperBoundAtMost(cost, tau); ub != want {
+					t.Fatalf("trial %d tau=%v: fused ub %v != UpperBoundAtMost %v", trial, tau, ub, want)
+				}
+			}
+		}
+	}
+}
+
+func TestUpperBoundAtMostWithMinsEmpty(t *testing.T) {
+	s := NewSolver()
+	if ub, rowSum := s.UpperBoundAtMostWithMins(nil, 0, nil); ub != 0 || rowSum != 0 {
+		t.Errorf("UpperBoundAtMostWithMins(nil) = %v, %v, want 0, 0", ub, rowSum)
+	}
+}
+
 // A Solver reused across sizes (large, then small, then large) must not leak
 // state between calls.
 func TestSolverReuseAcrossSizes(t *testing.T) {
@@ -166,6 +264,14 @@ func TestSolverAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(50, func() { s.UpperBound(cost) }); allocs != 0 {
 		t.Errorf("Solver.UpperBound allocates %v per op after warmup, want 0", allocs)
+	}
+	rowMin := make([]float64, len(cost))
+	s.UpperBoundAtMostWithMins(cost, 1e9, rowMin) // also fills rowMin for TotalWarm
+	if allocs := testing.AllocsPerRun(50, func() { s.UpperBoundAtMostWithMins(cost, 1e9, rowMin) }); allocs != 0 {
+		t.Errorf("Solver.UpperBoundAtMostWithMins allocates %v per op after warmup, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { s.TotalWarm(cost, rowMin) }); allocs != 0 {
+		t.Errorf("Solver.TotalWarm allocates %v per op after warmup, want 0", allocs)
 	}
 }
 

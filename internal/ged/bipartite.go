@@ -68,6 +68,27 @@ func Bipartite(g1, g2 *graph.Graph, c Costs) (float64, Mapping) {
 	return m.InducedCost(g1, g2, c), m
 }
 
+// spokeSymmetricDifference computes |A Δ B| for the sorted spoke multisets.
+// (The star kernel's hot path uses the packed-key form in star.go; this
+// struct-based variant serves the validation-only bipartite bound.)
+func spokeSymmetricDifference(a, b []graph.Spoke) int {
+	i, j, common := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i].EdgeLabel < b[j].EdgeLabel ||
+			(a[i].EdgeLabel == b[j].EdgeLabel && a[i].LeafLabel < b[j].LeafLabel):
+			i++
+		default:
+			j++
+		}
+	}
+	return len(a) + len(b) - 2*common
+}
+
 // edgeNeighborhoodCost estimates the edge edits needed to align the spoke
 // multisets of two stars: matched spokes may need a substitution, unmatched
 // ones a deletion or insertion.

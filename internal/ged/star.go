@@ -2,7 +2,6 @@ package ged
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"graphrep/internal/assignment"
@@ -39,39 +38,69 @@ func StarDistance(g1, g2 *graph.Graph) float64 {
 // StarSig is a precomputed star decomposition, used to amortize the
 // decomposition cost when one graph participates in many distance
 // computations (as every pivot, centroid, and vantage point does). It also
-// carries the sorted center-label multiset and padding-cost prefix sums that
-// power the constant- and linear-time lower bounds of DistanceAtMost.
+// carries the graph's filter Embedding, which powers the constant-per-
+// dimension lower bound that opens DistanceAtMost.
 type StarSig struct {
 	stars []graph.Star
-	// centers is the sorted multiset of star center labels.
-	centers []graph.Label
-	// padPrefix[k] is the sum of the k smallest padding costs (1 + degree)
-	// over this graph's stars: the cheapest possible price of matching k
-	// padding stars ε against k distinct stars of this graph.
-	padPrefix []float64
+	emb   *Embedding
+	pack  starPack
 }
 
-// NewStarSig precomputes the star decomposition of g along with the
-// lower-bound summaries.
+// starPack is a flat, cache-friendly rendering of a star decomposition for
+// the O(n²) cost-matrix fill: star i's spokes are keys[off[i]:off[i+1]], each
+// spoke packed into one uint64 (edge label high, leaf label low — numeric key
+// order equals the (EdgeLabel, LeafLabel) spoke order, so each run stays
+// sorted), with the center labels in their own dense array. Merging two runs
+// of packed keys replaces the struct-by-struct spoke comparison — one integer
+// compare per step, no pointer chasing through per-star slices.
+type starPack struct {
+	keys    []uint64
+	off     []int32
+	centers []uint32
+}
+
+func packStars(stars []graph.Star) starPack {
+	total := 0
+	for i := range stars {
+		total += len(stars[i].Spokes)
+	}
+	p := starPack{
+		keys:    make([]uint64, 0, total),
+		off:     make([]int32, len(stars)+1),
+		centers: make([]uint32, len(stars)),
+	}
+	for i := range stars {
+		p.centers[i] = uint32(stars[i].Center)
+		for _, sp := range stars[i].Spokes {
+			p.keys = append(p.keys, uint64(sp.EdgeLabel)<<32|uint64(sp.LeafLabel))
+		}
+		p.off[i+1] = int32(len(p.keys))
+	}
+	return p
+}
+
+// NewStarSig precomputes the star decomposition of g along with its filter
+// embedding.
 func NewStarSig(g *graph.Graph) *StarSig {
 	stars := g.Stars()
-	sig := &StarSig{
-		stars:     stars,
-		centers:   make([]graph.Label, len(stars)),
-		padPrefix: make([]float64, len(stars)+1),
-	}
-	pad := make([]float64, len(stars))
-	for i := range stars {
-		sig.centers[i] = stars[i].Center
-		pad[i] = 1 + float64(stars[i].Degree())
-	}
-	sort.Slice(sig.centers, func(i, j int) bool { return sig.centers[i] < sig.centers[j] })
-	sort.Float64s(pad)
-	for i, c := range pad {
-		sig.padPrefix[i+1] = sig.padPrefix[i] + c
-	}
-	return sig
+	return &StarSig{stars: stars, emb: newEmbeddingFromStars(stars), pack: packStars(stars)}
 }
+
+// NewStarSigWithEmbedding precomputes the star decomposition of g but adopts
+// the given embedding instead of recomputing it — the load path hands the
+// per-shard vectors persisted in the index container straight to the metric.
+// emb must be g's embedding (they are a pure function of the graph); a nil
+// emb falls back to computing it.
+func NewStarSigWithEmbedding(g *graph.Graph, emb *Embedding) *StarSig {
+	stars := g.Stars()
+	if emb == nil {
+		emb = newEmbeddingFromStars(stars)
+	}
+	return &StarSig{stars: stars, emb: emb, pack: packStars(stars)}
+}
+
+// Embedding returns the signature's filter vector.
+func (a *StarSig) Embedding() *Embedding { return a.emb }
 
 // Distance computes the star-matching distance between two signatures. The
 // solve runs on pooled scratch, so steady-state calls allocate nothing.
@@ -84,8 +113,32 @@ func (a *StarSig) Distance(b *StarSig) float64 {
 		return 0
 	}
 	sc := getScratch(n)
-	fillCost(sc, a.stars, b.stars, n)
+	fillCost(sc, &a.pack, &b.pack, n)
 	total := sc.solver.Total(sc.cost)
+	putScratch(sc)
+	return total
+}
+
+// DistanceWarm computes the same exact distance as Distance through the
+// warm-started solve: one extra memory-speed pass collects the row minima,
+// which then seed the solver's row-reduction duals and zero-reduced pre-
+// matching (assignment.TotalWarm). On the reference workload the pass costs a
+// fraction of what the pre-matched augmentations save, so the bounded
+// kernel's exact computations — cache promotions above all — route through
+// here. The plain Distance path is left classic: it serves the kernel-off
+// baseline, which must remain the untouched reference implementation.
+func (a *StarSig) DistanceWarm(b *StarSig) float64 {
+	n := len(a.stars)
+	if len(b.stars) > n {
+		n = len(b.stars)
+	}
+	if n == 0 {
+		return 0
+	}
+	sc := getScratch(n)
+	fillCost(sc, &a.pack, &b.pack, n)
+	rowMins(sc, n)
+	total := sc.solver.TotalWarm(sc.cost, sc.rowMin)
 	putScratch(sc)
 	return total
 }
@@ -94,12 +147,17 @@ func (a *StarSig) Distance(b *StarSig) float64 {
 type Stage uint8
 
 const (
-	// StageSize: pruned by the size/padding lower bound (O(1)).
-	StageSize Stage = iota
-	// StageHistogram: pruned by the center-label histogram bound (O(n)).
-	StageHistogram
-	// StageRowMin: pruned by the row-minima/column-minima bound (O(n²),
-	// computed while filling the cost matrix).
+	// StageEmbedding: pruned by the precomputed-embedding lower bound — the
+	// max of the padding/size bound (O(1)) and the center+spoke histogram L1
+	// bound (O(dims)), both read from the two cached filter vectors with no
+	// per-pair assignment work. Subsumes the retired size and histogram
+	// tiers (Embedding.LowerBound is ≥ both, always).
+	StageEmbedding Stage = iota
+	// StageRowMin: decided by the row-minima bound (O(n²), computed while
+	// filling the cost matrix). Deep misses return the bound alone; shallow
+	// misses (within rowMinDeepMargin of τ) additionally complete the solve
+	// on the already-filled matrix so the memoized interval is exact — the
+	// decision then carries Lo == Hi.
 	StageRowMin
 	// StageGreedy: decided ≤ τ by the swap-polished greedy-assignment upper
 	// bound (O(n²)).
@@ -117,10 +175,8 @@ const NumStages = int(numStages)
 // String names the stage for stats output.
 func (s Stage) String() string {
 	switch s {
-	case StageSize:
-		return "size"
-	case StageHistogram:
-		return "histogram"
+	case StageEmbedding:
+		return "embedding"
 	case StageRowMin:
 		return "rowmin"
 	case StageGreedy:
@@ -135,26 +191,69 @@ func (s Stage) String() string {
 
 // Decision is the outcome of DistanceAtMost: the threshold verdict plus the
 // distance interval [Lo, Hi] the cascade proved along the way (Hi is +Inf
-// when no upper bound was established). Lo ≤ Distance ≤ Hi always holds, the
-// interval is exact (Lo == Hi) iff Stage == StageExact, and Leq is false only
-// when Lo > τ, true only when Hi ≤ τ.
+// when no upper bound was established). Lo ≤ Distance ≤ Hi always holds, and
+// Leq is false only when Lo > τ, true only when Hi ≤ τ. The interval is
+// exact (Lo == Hi) when the solve ran to completion: always at StageExact,
+// and at StageRowMin when a shallow miss hardened the interval (see the
+// stage comments).
 type Decision struct {
 	Leq   bool
 	Stage Stage
 	Lo    float64
 	Hi    float64
+	// DualArmed records that the decision reached the exact solve with the
+	// dual-abort tier armed (the threshold was pinched against the proven
+	// lower bound and the caller's policy allowed arming). The metric layer's
+	// adaptive tier gate uses it as the attempt denominator for StageDual's
+	// live fire rate.
+	DualArmed bool
 }
 
-// Exact reports whether the cascade computed the exact distance.
-func (d Decision) Exact() bool { return d.Stage == StageExact }
+// Exact reports whether the cascade computed the exact distance — the
+// interval collapsed to a point. True for every completed solve, whichever
+// stage spent it.
+func (d Decision) Exact() bool { return d.Lo == d.Hi }
 
 // DistanceAtMost decides Distance(a,b) ≤ tau through a cascade of provable
 // bounds, running the exact Hungarian solve only when no cheaper stage is
-// conclusive: size/padding bound → center-label histogram bound → row/column
-// minima bound → greedy upper bound → dual-bounded Hungarian. Because every
-// ground cost is a non-negative integer, the decision equals
+// conclusive: precomputed-embedding bound → row-minima bound → greedy
+// upper bound → dual-bounded Hungarian. The cascade order follows the
+// measured fire-rate-per-nanosecond on the reference dud workload: the
+// embedding tier decides most far pairs from two cached vectors before any
+// per-pair work, and the former standalone size and histogram tiers — which
+// fired zero times there — are folded into it (LowerBound dominates both).
+// Because every ground cost is a non-negative integer, the decision equals
 // Distance(a,b) ≤ tau exactly, for every tau.
 func (a *StarSig) DistanceAtMost(b *StarSig, tau float64) Decision {
+	return a.DistanceAtMostWithLower(b, tau, a.emb.LowerBound(b.emb))
+}
+
+// DistanceAtMostWithLower is DistanceAtMost for callers that already hold the
+// embedding lower bound of the pair (the metric layer computes it from the
+// cached vectors before deciding whether to materialize the signatures, and
+// passing it down avoids a second L1 scan per decision). emblo must equal
+// a.Embedding().LowerBound(b.Embedding()).
+func (a *StarSig) DistanceAtMostWithLower(b *StarSig, tau, emblo float64) Decision {
+	return a.decideAtMost(b, tau, emblo, true, true)
+}
+
+// DistanceAtMostTiers is DistanceAtMostWithLower under an explicit tier
+// policy: tryGreedy enables the greedy upper-bound tier, tryDual the
+// dual-abort arming of the exact solve. The lower-bound tiers and the exact
+// solve always run; disabling a tier never changes a verdict — a skipped
+// greedy success falls through to the exact solve, which proves the same
+// answer with Lo == Hi, and an unarmed solve simply completes. The metric
+// layer drives the flags from its adaptive tier gates, which retire a tier
+// once its measured fire rate on the live workload drops below the tier's
+// solve-cost breakeven (see metric's greedyGateMinRate / dualGateMinRate): on
+// workloads dominated by far pairs the upper bound almost never lands, and
+// arming the abort forfeits the warm-started solve for an exit that never
+// fires.
+func (a *StarSig) DistanceAtMostTiers(b *StarSig, tau, emblo float64, tryGreedy, tryDual bool) Decision {
+	return a.decideAtMost(b, tau, emblo, tryGreedy, tryDual)
+}
+
+func (a *StarSig) decideAtMost(b *StarSig, tau, emblo float64, tryGreedy, tryDual bool) Decision {
 	n1, n2 := len(a.stars), len(b.stars)
 	n := n1
 	if n2 > n {
@@ -165,70 +264,149 @@ func (a *StarSig) DistanceAtMost(b *StarSig, tau float64) Decision {
 	}
 	inf := math.Inf(1)
 
-	// Stage 1 — size/padding: the |n1−n2| padding stars must each be matched
-	// against a distinct real star of the larger graph, paying at least its
-	// 1+degree; the prefix sum gives the cheapest such total in O(1).
-	lo := 0.0
-	switch {
-	case n1 < n2:
-		lo = b.padPrefix[n2-n1]
-	case n2 < n1:
-		lo = a.padPrefix[n1-n2]
+	// Stage 1 — embedding filter: the max of the size/padding bound and the
+	// center+spoke histogram L1 bound, straight off the cached vectors.
+	lo := emblo
+	if lo > tau {
+		return Decision{Leq: false, Stage: StageEmbedding, Lo: lo, Hi: inf}
+	}
+
+	// Stages 2+3 — fill the cost matrix, then one fused scan produces both
+	// bounds: every row is assigned somewhere, so Σ_i min_j c[i][j] bounds the
+	// optimum from below (StageRowMin), while the greedy row-by-row assignment
+	// the same cell reads build bounds it from above (StageGreedy). The row
+	// bound is checked first — it is admissible, so its verdicts take
+	// precedence and the greedy total is discarded when it fires. (The
+	// transposed column-minima sum is an equally valid lower bound, but
+	// measuring it needs a second, column-major O(n²) scan of the matrix; on
+	// the reference workload it decided under 1% of the fills that paid for
+	// it, so only the row bound — free inside the greedy scan — is kept.)
+	sc := getScratch(n)
+	fillCost(sc, &a.pack, &b.pack, n)
+	ub, rowSum := inf, 0.0
+	if tryGreedy {
+		ub, rowSum = sc.solver.UpperBoundAtMostWithMins(sc.cost, tau, sc.rowMin)
+	} else {
+		rowSum = rowMins(sc, n)
+	}
+	if rowSum > lo {
+		lo = rowSum
 	}
 	if lo > tau {
-		return Decision{Leq: false, Stage: StageSize, Lo: lo, Hi: inf}
-	}
-
-	// Stage 2 — center-label histogram: a star pair costs 0 only if the
-	// centers agree, and at most min(cnt1[l], cnt2[l]) pairs can agree on
-	// label l, so at least n − Σ_l min(cnt1[l], cnt2[l]) pairs cost ≥ 1.
-	if lb := float64(n - sortedCommonCount(a.centers, b.centers)); lb > lo {
-		lo = lb
-		if lo > tau {
-			return Decision{Leq: false, Stage: StageHistogram, Lo: lo, Hi: inf}
-		}
-	}
-
-	// Stage 3 — fill the cost matrix, tracking row and column minima: every
-	// row (and every column) is assigned somewhere, so both Σ_i min_j c[i][j]
-	// and Σ_j min_i c[i][j] bound the optimum from below.
-	sc := getScratch(n)
-	rowSum, colSum := fillCostWithMins(sc, a.stars, b.stars, n)
-	if lb := math.Max(rowSum, colSum); lb > lo {
-		lo = lb
-		if lo > tau {
+		if lo > tau+rowMinDeepMargin {
 			putScratch(sc)
 			return Decision{Leq: false, Stage: StageRowMin, Lo: lo, Hi: inf}
 		}
+		// Shallow miss: the bound already proves d > τ, but only barely —
+		// under a threshold sweep this pair is near-certain to be re-probed
+		// at a nearby higher threshold, where the memoized [lo, ∞) interval
+		// fails to decide and the cache promotes the pair to a full fill and
+		// solve anyway. The matrix is already paid for; completing the solve
+		// now costs only the Hungarian run and settles the pair exactly for
+		// every future threshold, where pruning would forfeit this fill and
+		// repeat it at the promotion. (Greedy polish and the dual gate are
+		// skipped: the optimum is ≥ rowSum > τ, so no upper bound can reach
+		// τ.) The stage stays StageRowMin — the row bound decided the verdict;
+		// the solve only hardened the interval — with Lo == Hi marking that a
+		// full solve was nonetheless spent.
+		total := sc.solver.TotalWarm(sc.cost, sc.rowMin)
+		putScratch(sc)
+		return Decision{Leq: total <= tau, Stage: StageRowMin, Lo: total, Hi: total}
 	}
-
-	// Stage 4 — greedy upper bound: any feasible assignment bounds the
-	// optimum from above, so greedy (with swap polish) ≤ τ already proves
-	// the answer.
-	if ub := sc.solver.UpperBound(sc.cost); ub <= tau {
+	if ub <= tau {
+		// Greedy upper bound: any feasible assignment bounds the optimum from
+		// above, so greedy (with swap polish, exiting the moment the running
+		// total reaches τ) ≤ τ already proves the answer.
 		putScratch(sc)
 		return Decision{Leq: true, Stage: StageGreedy, Lo: lo, Hi: ub}
 	}
 
-	// Stage 5/6 — dual-bounded Hungarian: the solve aborts as soon as its
-	// partial dual objective exceeds τ, otherwise it completes exactly.
-	total, aborted := sc.solver.TotalAtMost(sc.cost, tau)
-	putScratch(sc)
-	if aborted {
-		if total > lo {
-			lo = total
-		}
-		return Decision{Leq: false, Stage: StageDual, Lo: lo, Hi: inf}
+	// The dual tier only pays off when the threshold is pinched against the
+	// proven lower bound: its abort needs the optimum over a *prefix* of the
+	// rows to exceed τ, which on the reference workload happens exclusively at
+	// τ − lo ≤ 1 (measured: every dual fire had lo == τ). Only those
+	// decisions get the row reordering the abort depends on — for the rest
+	// the sort is a pure tax on the solve's row-processing order — and only
+	// those run the solve with the abort armed.
+	nearTau := tryDual && tau-lo <= dualGateMargin
+	if nearTau {
+		// Reorder the matrix rows by descending row minimum (the assignment
+		// optimum is permutation-invariant, and integer costs keep the
+		// completed total bit-identical). The Hungarian partial dual bound is
+		// otherwise back-loaded — early rows grab the globally cheap columns,
+		// so the bound crosses τ only in the final rows, exactly where
+		// aborting no longer saves anything. Expensive, conflict-prone rows
+		// first means a far pair pushes the dual objective past τ within the
+		// gated early rows instead.
+		sortRowsByMinDesc(sc, n)
 	}
+
+	// Stage 4/5 — the exact solve. Pinched decisions (nearTau) run the
+	// dual-bounded Hungarian: the early exit is gated to the first half of the
+	// rows, because an abort there skips ≥ ~half the solve while a late abort
+	// would save almost nothing and forfeit the exact value — under a
+	// memoizing cache and a threshold sweep that trades one completed,
+	// cacheable solve for a nearly-full partial solve redone at every
+	// subsequent threshold (the measured cause of the bounded path losing to
+	// the exact baseline on the reference workload). Everything else runs the
+	// warm-started solve, reusing the row minima the fused scan already paid
+	// for as row-reduction duals (see assignment.TotalWarm) — the cascade's
+	// bound computations double as the solver's initialization, an advantage
+	// the plain Distance path does not have.
+	if nearTau {
+		total, aborted := sc.solver.TotalAtMostEarly(sc.cost, tau, n/dualAbortDenominator)
+		putScratch(sc)
+		if aborted {
+			if total > lo {
+				lo = total
+			}
+			return Decision{Leq: false, Stage: StageDual, Lo: lo, Hi: inf, DualArmed: true}
+		}
+		return Decision{Leq: total <= tau, Stage: StageExact, Lo: total, Hi: total, DualArmed: true}
+	}
+	total := sc.solver.TotalWarm(sc.cost, sc.rowMin)
+	putScratch(sc)
 	return Decision{Leq: total <= tau, Stage: StageExact, Lo: total, Hi: total}
 }
 
-// starScratch is the pooled per-solve arena: the flat cost matrix plus the
-// assignment solver's own scratch. One scratch serves one solve at a time;
-// concurrency gets distinct instances from the pool.
+// dualAbortDenominator gates the StageDual early exit to the first
+// n/dualAbortDenominator augmented rows of the Hungarian solve. The partial
+// dual objective grows roughly linearly in the augmented rows, so an abort
+// inside the first half fires only when τ is well below the true distance
+// and saves at least half the solve; beyond that the savings no longer cover
+// the cost of losing the exact value (see the stage 4/5 comment in
+// DistanceAtMost).
+const dualAbortDenominator = 2
+
+// rowMinDeepMargin splits row-minima misses into durable and ephemeral
+// prunes. A miss is worth returning early only when the proven lower bound
+// clears the threshold by more than the span a sweeping workload walks: the
+// memoized interval [lo, ∞) then decides every future probe of the pair, and
+// the solve really is saved. A shallower miss would be re-probed undecided at
+// the next grid point and promoted to a second fill and solve — measured at
+// the reference n=4000 workload, nearly every shallow row-minima prune came
+// back as a promotion, turning the "saved" solve into a doubled fill. The
+// margin approximates the observed sweep spans (≈ 60 across the reference
+// grids) at half, trading a few durable prunes for none of the doubling.
+const rowMinDeepMargin = 32
+
+// dualGateMargin selects which decisions arm the dual tier at all: only
+// those whose threshold sits within this margin of the proven lower bound.
+// A prefix of the rows can only push the dual objective past τ when τ is
+// already pinched against the row-minima sum (the prefix optimum exceeds the
+// prefix's row minima by at most the assignment conflicts in it); with a
+// wide gap the solve always completes, so sorting and checking would be
+// wasted work on the far more common near-miss "yes" decisions.
+const dualGateMargin = 1
+
+// starScratch is the pooled per-solve arena: the flat cost matrix, the
+// per-row minima used to order rows for the dual bound, plus the assignment
+// solver's own scratch. One scratch serves one solve at a time; concurrency
+// gets distinct instances from the pool.
 type starScratch struct {
 	flat   []float64
 	cost   [][]float64
+	rowMin []float64
 	solver *assignment.Solver
 }
 
@@ -249,66 +427,79 @@ func getScratch(n int) *starScratch {
 	for i := range sc.cost {
 		sc.cost[i] = sc.flat[i*n : (i+1)*n : (i+1)*n]
 	}
+	if cap(sc.rowMin) < n {
+		sc.rowMin = make([]float64, n)
+	}
+	sc.rowMin = sc.rowMin[:n]
 	return sc
 }
 
 func putScratch(sc *starScratch) { starPool.Put(sc) }
 
 // fillCost populates the n×n ground-cost matrix for the padded star multisets.
-func fillCost(sc *starScratch, s1, s2 []graph.Star, n int) {
+func fillCost(sc *starScratch, p1, p2 *starPack, n int) {
+	n1, n2 := len(p1.centers), len(p2.centers)
 	for i := 0; i < n; i++ {
 		row := sc.cost[i]
-		for j := 0; j < n; j++ {
-			row[j] = starPairCost(starAt(s1, i), starAt(s2, j))
+		if i >= n1 {
+			// Padding row: cost against star j is 1 + degree(j), 0 against a
+			// padding column.
+			for j := 0; j < n2; j++ {
+				row[j] = 1 + float64(p2.off[j+1]-p2.off[j])
+			}
+			for j := n2; j < n; j++ {
+				row[j] = 0
+			}
+			continue
+		}
+		ac := p1.centers[i]
+		ak := p1.keys[p1.off[i]:p1.off[i+1]]
+		for j := 0; j < n2; j++ {
+			row[j] = packedPairCost(ac, ak, p2.centers[j], p2.keys[p2.off[j]:p2.off[j+1]])
+		}
+		for j := n2; j < n; j++ {
+			row[j] = 1 + float64(len(ak))
 		}
 	}
 }
 
-// fillCostWithMins populates the cost matrix while accumulating the row- and
-// column-minima sums used by the StageRowMin bound.
-func fillCostWithMins(sc *starScratch, s1, s2 []graph.Star, n int) (rowSum, colSum float64) {
+// rowMins scans the just-filled (cache-resident) cost matrix for each row's
+// minimum, storing it in sc.rowMin and returning the row-minima sum — the
+// StageRowMin lower bound. It is the greedy-bypassed counterpart of the fused
+// scan in assignment.UpperBoundAtMostWithMins: when the adaptive tier gate has
+// retired the upper bound, this dedicated pass runs at memory speed with none
+// of greedy's assignment bookkeeping, and the minima still feed the dual-tier
+// row ordering and the warm-started solve.
+func rowMins(sc *starScratch, n int) (rowSum float64) {
 	for i := 0; i < n; i++ {
 		row := sc.cost[i]
-		a := starAt(s1, i)
-		rowMin := math.Inf(1)
-		for j := 0; j < n; j++ {
-			c := starPairCost(a, starAt(s2, j))
-			row[j] = c
-			if c < rowMin {
-				rowMin = c
+		m := row[0]
+		for _, c := range row[1:] {
+			if c < m {
+				m = c
 			}
 		}
-		rowSum += rowMin
+		sc.rowMin[i] = m
+		rowSum += m
 	}
-	for j := 0; j < n; j++ {
-		colMinV := sc.cost[0][j]
-		for i := 1; i < n; i++ {
-			if c := sc.cost[i][j]; c < colMinV {
-				colMinV = c
-			}
-		}
-		colSum += colMinV
-	}
-	return rowSum, colSum
+	return rowSum
 }
 
-// sortedCommonCount returns the multiset intersection size of two sorted
-// label slices.
-func sortedCommonCount(a, b []graph.Label) int {
-	i, j, common := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			common++
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
+// sortRowsByMinDesc permutes the cost-matrix rows (pointer swaps only) into
+// descending row-minimum order, ties kept in original row order. Insertion
+// sort: n is small relative to the O(n²·spokes) fill that precedes this, and
+// near-sorted inputs (padding rows share one cost) finish in a linear pass.
+func sortRowsByMinDesc(sc *starScratch, n int) {
+	cost, mins := sc.cost, sc.rowMin
+	for i := 1; i < n; i++ {
+		r, m := cost[i], mins[i]
+		j := i
+		for j > 0 && mins[j-1] < m {
+			cost[j], mins[j] = cost[j-1], mins[j-1]
+			j--
 		}
+		cost[j], mins[j] = r, m
 	}
-	return common
 }
 
 func starDistance(s1, s2 []graph.Star) float64 {
@@ -319,67 +510,34 @@ func starDistance(s1, s2 []graph.Star) float64 {
 	if n == 0 {
 		return 0
 	}
+	p1, p2 := packStars(s1), packStars(s2)
 	sc := getScratch(n)
-	fillCost(sc, s1, s2, n)
+	fillCost(sc, &p1, &p2, n)
 	total := sc.solver.Total(sc.cost)
 	putScratch(sc)
 	return total
 }
 
-// starAt returns the i-th star or nil past the end (the padding star ε).
-func starAt(s []graph.Star, i int) *graph.Star {
-	if i < len(s) {
-		return &s[i]
-	}
-	return nil
-}
-
-// starPairCost is the metric ground cost between two (possibly padding)
-// stars.
-func starPairCost(a, b *graph.Star) float64 {
-	switch {
-	case a == nil && b == nil:
-		return 0
-	case a == nil:
-		return 1 + float64(len(b.Spokes))
-	case b == nil:
-		return 1 + float64(len(a.Spokes))
-	}
+// packedPairCost is the metric ground cost between two non-padding stars in
+// packed form: the discrete metric on center labels plus the multiset
+// symmetric difference |A Δ B| of the sorted spoke-key runs.
+func packedPairCost(centerA uint32, ka []uint64, centerB uint32, kb []uint64) float64 {
 	c := 0.0
-	if a.Center != b.Center {
+	if centerA != centerB {
 		c = 1
 	}
-	return c + float64(spokeSymmetricDifference(a.Spokes, b.Spokes))
-}
-
-// spokeSymmetricDifference computes |A Δ B| for the sorted spoke multisets.
-func spokeSymmetricDifference(a, b []graph.Spoke) int {
 	i, j, common := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch spokeCompare(a[i], b[j]) {
-		case 0:
+	for i < len(ka) && j < len(kb) {
+		x, y := ka[i], kb[j]
+		if x == y {
 			common++
 			i++
 			j++
-		case -1:
+		} else if x < y {
 			i++
-		default:
+		} else {
 			j++
 		}
 	}
-	return len(a) + len(b) - 2*common
-}
-
-func spokeCompare(a, b graph.Spoke) int {
-	switch {
-	case a.EdgeLabel < b.EdgeLabel:
-		return -1
-	case a.EdgeLabel > b.EdgeLabel:
-		return 1
-	case a.LeafLabel < b.LeafLabel:
-		return -1
-	case a.LeafLabel > b.LeafLabel:
-		return 1
-	}
-	return 0
+	return c + float64(len(ka)+len(kb)-2*common)
 }

@@ -72,29 +72,59 @@ func boundedDecide(m Metric, a, b graph.ID, theta float64) decision {
 // (ExactValues — always a full solve). FullSolves is therefore the number of
 // complete Hungarian runs; Pruned the number avoided.
 type PruneStats struct {
-	Size      int64 // size/padding lower bound (O(1))
-	Histogram int64 // center-label histogram lower bound (O(n))
-	RowMin    int64 // row/column minima lower bound (O(n²))
+	// Embedding counts decisions the precomputed filter tier resolved from
+	// two cached vectors alone (the max of the padding/size bound and the
+	// center+spoke histogram L1 bound; O(dims), no per-pair assignment
+	// work). It subsumes the retired size and histogram tiers.
+	Embedding int64
+	RowMin    int64 // decisions the row-minima lower bound made (O(n²))
 	Greedy    int64 // greedy-assignment upper bound (O(n²))
 	Dual      int64 // Hungarian dual objective early exit (partial solve)
 
+	// RowMinSolved is the subset of RowMin whose miss was shallow — within
+	// rowMinDeepMargin of τ — so the cascade spent a full solve hardening the
+	// memoized interval to an exact value. Those decisions were made by the
+	// bound but still cost a Hungarian run, so they count in FullSolves and
+	// not in Pruned.
+	RowMinSolved int64
+
 	BoundedExact int64
 	ExactValues  int64
+
+	// GreedyTried and DualArmed are the adaptive tier gates' attempt
+	// denominators: decisions on which the greedy tier actually ran, and
+	// decisions whose exact solve ran with the dual abort armed. Greedy/
+	// GreedyTried and Dual/DualArmed are the live fire rates the gates weigh
+	// against each tier's breakeven; a denominator that stops growing while
+	// decisions continue means the gate has retired the tier.
+	GreedyTried int64
+	DualArmed   int64
 }
 
 // Pruned returns the decisions resolved without a completed exact solve.
 func (p PruneStats) Pruned() int64 {
-	return p.Size + p.Histogram + p.RowMin + p.Greedy + p.Dual
+	return p.Embedding + (p.RowMin - p.RowMinSolved) + p.Greedy + p.Dual
 }
 
 // FullSolves returns the number of completed Hungarian solves issued.
-func (p PruneStats) FullSolves() int64 { return p.BoundedExact + p.ExactValues }
+func (p PruneStats) FullSolves() int64 {
+	return p.BoundedExact + p.RowMinSolved + p.ExactValues
+}
 
 // StageCounter is implemented by metrics that track the PruneStats
 // breakdown; the Star metric does, and the engine telemetry exports the
 // counts as graphrep_metric_* series.
 type StageCounter interface {
 	PruneStats() PruneStats
+}
+
+// EmbeddingPrimer is implemented by metrics that can adopt precomputed
+// per-graph filter embeddings (the default star metric does). The engine
+// primes the metric with the per-shard vectors carried by the index — built
+// or loaded — so threshold tests on far pairs resolve from the cached
+// vectors without ever materializing a star signature.
+type EmbeddingPrimer interface {
+	PrimeEmbeddings(base graph.ID, embs []*ged.Embedding)
 }
 
 // Within implements BoundedMetric via the ged bound cascade.
@@ -106,21 +136,106 @@ func (m *starMetric) boundedDecide(a, b graph.ID, theta float64) decision {
 	if a == b {
 		return decision{leq: 0 <= theta, pruned: true, lo: 0, hi: 0}
 	}
-	dec := m.sig(a).DistanceAtMost(m.sig(b), theta)
+	// Embedding-first: with both filter vectors cached (primed from a loaded
+	// index, or left behind by earlier sig materializations), a far pair is
+	// decided without touching the star signatures at all. The bound is then
+	// handed down so the cascade does not re-scan the vectors. Signatures and
+	// vectors are snapshotted in one reader-lock round.
+	sa, sb, ea, eb := m.pairState(a, b)
+	lb := -1.0
+	if ea != nil && eb != nil {
+		lb = ea.LowerBound(eb)
+		if lb > theta {
+			m.stages[ged.StageEmbedding].Add(1)
+			return decision{leq: false, pruned: true, lo: lb, hi: math.Inf(1)}
+		}
+	}
+	if sa == nil {
+		sa = m.sig(a)
+	}
+	if sb == nil {
+		sb = m.sig(b)
+	}
+	if lb < 0 {
+		lb = sa.Embedding().LowerBound(sb.Embedding())
+	}
+	tryGreedy := m.greedyGateOpen()
+	dec := sa.DistanceAtMostTiers(sb, theta, lb, tryGreedy, m.dualGateOpen())
+	if tryGreedy && dec.Stage >= ged.StageGreedy {
+		m.greedyTried.Add(1)
+	}
+	if dec.DualArmed {
+		m.dualTried.Add(1)
+	}
 	m.stages[dec.Stage].Add(1)
+	if dec.Stage == ged.StageRowMin && dec.Exact() {
+		m.rowMinSolved.Add(1)
+	}
 	return decision{leq: dec.Leq, pruned: !dec.Exact(), lo: dec.Lo, hi: dec.Hi}
+}
+
+// The adaptive tier gates. The greedy upper bound and the dual abort are the
+// two cascade tiers whose economics depend on the workload rather than the
+// data alone. A greedy success durably prunes one warm-started Hungarian
+// solve, while a failure pays the assignment bookkeeping and swap polish on
+// top of the solve it failed to avoid — against the measured costs on the
+// reference workload, roughly a quarter of a warm solve per attempt, so the
+// tier breaks even when about one attempt in four lands. Arming the dual
+// abort costs the row reordering plus the warm start the classic abortable
+// solve cannot use — about half of what an abort saves (the abort skips at
+// least half the solve) — so that tier breaks even when about half its armed
+// attempts fire. Each gate watches its tier's live fire rate over the
+// decisions that actually ran it and retires the tier for the metric's
+// lifetime once, past a warmup of gateWarmup attempts, the rate sits below
+// the tier's breakeven. Retiring a tier never changes a verdict (a skipped
+// greedy success falls through to the exact solve, which proves the same
+// answer and memoizes more; an unarmed solve simply completes), so answers
+// stay byte-identical; only the stage composition shifts. Once closed a gate
+// stays closed: no further attempts run, so the rate that closed it is
+// frozen. Reference points: the n=400 workload finishes inside the warmup
+// with greedy landing ≈48%, so both tiers stay live there; the n=4000
+// workload sits near 12% greedy and 0% dual and retires both shortly after
+// warmup, shedding their cost on the ~90% of decisions they were losing.
+const (
+	gateWarmup        = 4096
+	greedyGateMinRate = 0.25
+	dualGateMinRate   = 0.5
+)
+
+// greedyGateOpen reports whether the greedy tier should still run. Counter
+// reads are racy under concurrent decisions — the gate may close a handful of
+// decisions earlier or later across runs — but monotonicity keeps the
+// end state identical and verdicts never depend on it.
+func (m *starMetric) greedyGateOpen() bool {
+	tried := m.greedyTried.Load()
+	if tried < gateWarmup {
+		return true
+	}
+	return float64(m.stages[ged.StageGreedy].Load()) >= greedyGateMinRate*float64(tried)
+}
+
+// dualGateOpen is greedyGateOpen's counterpart for the dual-abort tier, over
+// the decisions that armed it.
+func (m *starMetric) dualGateOpen() bool {
+	tried := m.dualTried.Load()
+	if tried < gateWarmup {
+		return true
+	}
+	return float64(m.stages[ged.StageDual].Load()) >= dualGateMinRate*float64(tried)
 }
 
 // PruneStats implements StageCounter.
 func (m *starMetric) PruneStats() PruneStats {
 	return PruneStats{
-		Size:         m.stages[ged.StageSize].Load(),
-		Histogram:    m.stages[ged.StageHistogram].Load(),
+		Embedding:    m.stages[ged.StageEmbedding].Load(),
 		RowMin:       m.stages[ged.StageRowMin].Load(),
 		Greedy:       m.stages[ged.StageGreedy].Load(),
 		Dual:         m.stages[ged.StageDual].Load(),
+		RowMinSolved: m.rowMinSolved.Load(),
 		BoundedExact: m.stages[ged.StageExact].Load(),
 		ExactValues:  m.exactValues.Load(),
+		GreedyTried:  m.greedyTried.Load(),
+		DualArmed:    m.dualTried.Load(),
 	}
 }
 
@@ -146,12 +261,32 @@ func (c *Cache) Within(a, b graph.ID, theta float64) bool {
 	return c.boundedDecide(a, b, theta).leq
 }
 
+// exactWarmer is implemented by metrics whose exact distance can run through
+// the warm-started solve (the star metric's distanceExactWarm). The Cache's
+// promotions — exact computations issued from inside the bounded kernel —
+// prefer it; plain Distance calls are untouched, keeping the kernel-off
+// baseline on the classic solve.
+type exactWarmer interface {
+	distanceExactWarm(a, b graph.ID) float64
+}
+
+// exactDistance computes the exact distance for kernel-internal use,
+// routing through the warm solve when m supports it.
+func exactDistance(m Metric, a, b graph.ID) float64 {
+	if ew, ok := m.(exactWarmer); ok {
+		return ew.distanceExactWarm(a, b)
+	}
+	return m.Distance(a, b)
+}
+
 // promoteProbes is the undecided-repeat count at which the Cache stops
 // issuing partial cascades for a pair and computes its exact distance: the
-// second repeat probe inside the stored interval (third miss overall) pays
-// for one full solve so every later test is a table hit. One repeat is still
-// cheap to re-prune; a pair straddled by many sweep thresholds is not.
-const promoteProbes = 2
+// first repeat probe inside the stored interval (second miss overall) pays
+// for one full solve so every later test is a table hit. A repeat inside the
+// interval means the pair straddles the workload's thresholds — θ sweeps walk
+// the same pairs through a grid of nearby values — and every further partial
+// cascade on it is near-full-solve work that proves nothing reusable.
+const promoteProbes = 1
 
 func (c *Cache) boundedDecide(a, b graph.ID, theta float64) decision {
 	if a == b {
@@ -184,7 +319,7 @@ func (c *Cache) boundedDecide(a, b graph.ID, theta float64) decision {
 			// computation.
 			c.misses.Add(1)
 			if sh.bumpProbes(k) >= promoteProbes {
-				d := c.inner.Distance(a, b)
+				d := exactDistance(c.inner, a, b)
 				sh.store(k, d, d)
 				return decision{leq: d <= theta, pruned: false, lo: d, hi: d}
 			}

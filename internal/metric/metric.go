@@ -30,39 +30,117 @@ func (f Func) Distance(a, b graph.ID) float64 { return f(a, b) }
 // Star returns the default database metric: the star-matching distance over
 // db, with per-graph star signatures computed lazily and cached. It is safe
 // for concurrent use and tolerates databases that grow via Append.
+//
+// Star also implements EmbeddingPrimer: an engine that loads a persisted
+// index hands the per-shard filter embeddings to the metric, so far pairs
+// are pruned from the cached vectors before any star decomposition happens.
 func Star(db *graph.Database) Metric {
-	m := &starMetric{db: db, sigs: make([]*ged.StarSig, db.Len())}
-	for i, g := range db.Graphs() {
-		m.sigs[i] = ged.NewStarSig(g)
+	return &starMetric{
+		db:   db,
+		sigs: make([]*ged.StarSig, db.Len()),
+		embs: make([]*ged.Embedding, db.Len()),
 	}
-	return m
 }
 
 type starMetric struct {
-	db   *graph.Database
-	mu   sync.RWMutex
+	db *graph.Database
+	mu sync.RWMutex
+	// sigs[id] is the lazily materialized star signature of id (nil until
+	// first needed); embs[id] is its filter embedding, available earlier when
+	// primed from a persisted index. Both guarded by mu.
 	sigs []*ged.StarSig
+	embs []*ged.Embedding
 	// stages[s] counts bounded decisions terminating at cascade stage s;
 	// exactValues counts plain Distance computations (always a full solve).
 	// Together they form the PruneStats breakdown (see bounded.go).
-	stages      [ged.NumStages]atomic.Int64
-	exactValues atomic.Int64
+	stages [ged.NumStages]paddedCounter
+	// rowMinSolved counts the StageRowMin subset whose shallow miss completed
+	// a hardening solve (Decision.Exact() true): decided by the bound, but a
+	// full Hungarian run was still spent and must show up in FullSolves.
+	rowMinSolved paddedCounter
+	exactValues  paddedCounter
+	// greedyTried counts bounded decisions on which the greedy upper-bound
+	// tier actually ran (the adaptive tier gate was open and the decision got
+	// past the lower-bound tiers); dualTried those that reached the exact
+	// solve with the dual abort armed. Together with the matching stage
+	// counters they yield the live fire rates the adaptive tier gates compare
+	// against each tier's breakeven.
+	greedyTried paddedCounter
+	dualTried   paddedCounter
+}
+
+// paddedCounter is an atomic.Int64 alone on its cache line. One of these
+// counters is bumped by every worker on every decision, and packing the five
+// stage counters (plus exactValues) into adjacent words would make each bump
+// invalidate the others' line — measurable false sharing on the query path's
+// parallel verify loops.
+type paddedCounter struct {
+	atomic.Int64
+	_ [56]byte
 }
 
 func (m *starMetric) sig(id graph.ID) *ged.StarSig {
 	m.mu.RLock()
 	if int(id) < len(m.sigs) {
-		s := m.sigs[id]
-		m.mu.RUnlock()
-		return s
+		if s := m.sigs[id]; s != nil {
+			m.mu.RUnlock()
+			return s
+		}
 	}
 	m.mu.RUnlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for len(m.sigs) <= int(id) {
-		m.sigs = append(m.sigs, ged.NewStarSig(m.db.Graph(graph.ID(len(m.sigs)))))
+		m.sigs = append(m.sigs, nil)
+		m.embs = append(m.embs, nil)
+	}
+	if m.sigs[id] == nil {
+		s := ged.NewStarSigWithEmbedding(m.db.Graph(id), m.embs[id])
+		m.sigs[id] = s
+		m.embs[id] = s.Embedding()
 	}
 	return m.sigs[id]
+}
+
+// pairState snapshots the cached signatures and filter vectors of both IDs
+// under a single reader-lock round. Entries not materialized (or not primed)
+// yet come back nil; the caller falls through to the locking sig path for
+// whichever signatures it still needs. One RLock/RUnlock here replaces up to
+// four on the bounded hot path — the RWMutex reader count is a shared atomic,
+// so every acquisition is a contended RMW under the parallel verify loops.
+func (m *starMetric) pairState(a, b graph.ID) (sa, sb *ged.StarSig, ea, eb *ged.Embedding) {
+	m.mu.RLock()
+	if int(a) < len(m.sigs) {
+		sa, ea = m.sigs[a], m.embs[a]
+	}
+	if int(b) < len(m.sigs) {
+		sb, eb = m.sigs[b], m.embs[b]
+	}
+	m.mu.RUnlock()
+	return
+}
+
+// PrimeEmbeddings implements EmbeddingPrimer: adopt precomputed filter
+// vectors for the contiguous ID range starting at base. Vectors already
+// cached (from a sig materialization or an earlier prime) win — they are
+// identical by construction, so keeping the resident pointer avoids
+// aliasing churn. Nil entries are skipped.
+func (m *starMetric) PrimeEmbeddings(base graph.ID, embs []*ged.Embedding) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, e := range embs {
+		if e == nil {
+			continue
+		}
+		id := int(base) + i
+		for len(m.embs) <= id {
+			m.sigs = append(m.sigs, nil)
+			m.embs = append(m.embs, nil)
+		}
+		if m.embs[id] == nil {
+			m.embs[id] = e
+		}
+	}
 }
 
 // Distance implements Metric.
@@ -71,7 +149,34 @@ func (m *starMetric) Distance(a, b graph.ID) float64 {
 		return 0
 	}
 	m.exactValues.Add(1)
-	return m.sig(a).Distance(m.sig(b))
+	sa, sb, _, _ := m.pairState(a, b)
+	if sa == nil {
+		sa = m.sig(a)
+	}
+	if sb == nil {
+		sb = m.sig(b)
+	}
+	return sa.Distance(sb)
+}
+
+// distanceExactWarm is Distance through the warm-started solve
+// (ged.StarSig.DistanceWarm); same value, same exactValues accounting. It
+// implements exactWarmer, so the Cache routes its promotions here — they are
+// bounded-kernel-internal work, while the public Distance stays on the
+// classic solve the kernel-off baseline is measured against.
+func (m *starMetric) distanceExactWarm(a, b graph.ID) float64 {
+	if a == b {
+		return 0
+	}
+	m.exactValues.Add(1)
+	sa, sb, _, _ := m.pairState(a, b)
+	if sa == nil {
+		sa = m.sig(a)
+	}
+	if sb == nil {
+		sb = m.sig(b)
+	}
+	return sa.DistanceWarm(sb)
 }
 
 // BipartiteGED returns the Riesen–Bunke bipartite GED upper bound as a

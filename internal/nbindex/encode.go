@@ -2,10 +2,12 @@ package nbindex
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 
+	"graphrep/internal/ged"
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
 	"graphrep/internal/nbtree"
@@ -102,6 +104,12 @@ func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Index, error) {
 			ix.leafOf[n.Centroid] = n.Idx
 		}
 	}
+	// v1 files predate the filter embeddings; recompute them from the
+	// database (they are a pure function of the graphs, so the result is
+	// identical to what a fresh build would persist).
+	if err := ix.computeEmbeddings(context.Background(), 0); err != nil {
+		return nil, err
+	}
 	return ix, nil
 }
 
@@ -115,9 +123,55 @@ func (ix *Index) EncodePart(w io.Writer) error {
 	return ix.tree.Encode(w)
 }
 
+// EncodeEmbeddings writes the per-shard filter-embedding section of the v3
+// container: one fixed-layout embedding per covered graph, in ID order. The
+// count is implied by the shard header, so no length prefix is needed.
+// Embeddings are a pure function of the graphs, so the section bytes are
+// independent of the metric and of whether the bounded kernel is enabled.
+func (ix *Index) EncodeEmbeddings(w io.Writer) error {
+	if len(ix.embs) != ix.vo.Len() {
+		return fmt.Errorf("nbindex: %d embeddings for %d graphs", len(ix.embs), ix.vo.Len())
+	}
+	for _, e := range ix.embs {
+		if err := e.Encode(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeEmbeddings reads the embedding section written by EncodeEmbeddings,
+// attaching the vectors to the index. The v3 load path calls it right after
+// ReadPart; pre-embedding files use ComputeEmbeddings instead.
+func (ix *Index) DecodeEmbeddings(r io.Reader) error {
+	embs := make([]*ged.Embedding, ix.vo.Len())
+	for i := range embs {
+		e, err := ged.DecodeEmbedding(r)
+		if err != nil {
+			return fmt.Errorf("nbindex: embedding %d: %w", int(ix.base)+i, err)
+		}
+		if e.Stars() != ix.db.Graph(ix.base+graph.ID(i)).Order() {
+			return fmt.Errorf("nbindex: embedding %d covers %d stars, graph has %d vertices",
+				int(ix.base)+i, e.Stars(), ix.db.Graph(ix.base+graph.ID(i)).Order())
+		}
+		embs[i] = e
+	}
+	ix.embs = embs
+	return nil
+}
+
+// ComputeEmbeddings recomputes the filter embeddings from the database — the
+// compat path for pre-embedding (v1/v2) index files, whose sections carry no
+// vectors. The result is identical to what a fresh build would persist.
+func (ix *Index) ComputeEmbeddings(ctx context.Context, workers int) error {
+	return ix.computeEmbeddings(ctx, workers)
+}
+
 // ReadPart loads one shard's section written by EncodePart, reattaching it
 // to the database, metric, and shared grid. The declared range [base,
-// base+count) is validated against the decoded ordering and tree.
+// base+count) is validated against the decoded ordering and tree. The filter
+// embeddings are NOT restored here — the container layer either decodes them
+// (v3, DecodeEmbeddings) or recomputes them (v2 compat, ComputeEmbeddings).
 func ReadPart(r io.Reader, db *graph.Database, m metric.Metric, grid []float64, base graph.ID, count int) (*Index, error) {
 	vo, err := vantage.ReadOrdering(r)
 	if err != nil {

@@ -43,6 +43,7 @@ import (
 
 	"graphrep/internal/bitset"
 	"graphrep/internal/core"
+	"graphrep/internal/ged"
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
 	"graphrep/internal/nbtree"
@@ -87,6 +88,13 @@ type Index struct {
 	// leafOf maps a covered graph ID (offset by base) to its leaf node index
 	// in tree.Nodes().
 	leafOf []int
+	// embs[i] is the filter embedding of graph base+i: the precomputed
+	// vector whose L1-style lower bound opens the bounded distance cascade.
+	// Embeddings are a pure function of the graphs — independent of the
+	// metric and of whether the bounded kernel is enabled — so index bytes
+	// stay identical either way. Persisted in the v3 container; recomputed
+	// on the v1/v2 compat load paths.
+	embs []*ged.Embedding
 	// workers bounds session-initialization goroutines; ≤ 0 means GOMAXPROCS.
 	workers int
 	// timing records the wall time of each construction phase.
@@ -211,8 +219,34 @@ func BuildPartContext(ctx context.Context, db *graph.Database, m metric.Metric, 
 			return l
 		}(),
 	}
+	if err := ix.computeEmbeddings(ctx, workers); err != nil {
+		return nil, err
+	}
 	return ix, nil
 }
+
+// computeEmbeddings fills embs from the database graphs — the build path and
+// the pre-embedding (v1/v2) load paths both land here. Each row is a pure
+// function of its graph, so the fill parallelizes freely without affecting
+// the result.
+func (ix *Index) computeEmbeddings(ctx context.Context, workers int) error {
+	embs := make([]*ged.Embedding, ix.vo.Len())
+	if err := pool.Ranges(ctx, len(embs), workers, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			embs[i] = ged.NewEmbedding(ix.db.Graph(ix.base + graph.ID(i)))
+		}
+	}); err != nil {
+		return err
+	}
+	ix.embs = embs
+	return nil
+}
+
+// Embeddings returns the per-graph filter embeddings, indexed by covered
+// graph ID minus Base(). The engine hands them to the metric
+// (metric.EmbeddingPrimer) so threshold tests on far pairs resolve from the
+// cached vectors without materializing star signatures.
+func (ix *Index) Embeddings() []*ged.Embedding { return ix.embs }
 
 // Timing returns the wall time each construction phase took. Zero for
 // indexes loaded with Read (no construction happened).
@@ -239,6 +273,7 @@ func (ix *Index) Insert(id graph.ID) error {
 		return err
 	}
 	ix.tree.Insert(id, ix.m)
+	ix.embs = append(ix.embs, ged.NewEmbedding(ix.db.Graph(id)))
 	// Rebuild the leaf map: inserting into a singleton tree restructures
 	// node indexes, so a full O(nodes) rebuild is the safe (and still
 	// cheap) choice.
@@ -269,9 +304,15 @@ func (ix *Index) Count() int { return ix.vo.Len() }
 // LeafIdx returns the tree node index of the leaf holding covered graph id.
 func (ix *Index) LeafIdx(id graph.ID) int { return ix.leafOf[id-ix.base] }
 
-// Bytes approximates the index memory footprint: vantage orderings plus the
-// NB-Tree (Fig. 6(l)).
-func (ix *Index) Bytes() int64 { return ix.vo.Bytes() + ix.tree.Bytes() }
+// Bytes approximates the index memory footprint: vantage orderings, the
+// NB-Tree (Fig. 6(l)), and the filter embeddings.
+func (ix *Index) Bytes() int64 {
+	b := ix.vo.Bytes() + ix.tree.Bytes()
+	for _, e := range ix.embs {
+		b += e.Bytes()
+	}
+	return b
+}
 
 // GridSlot returns the position of the smallest indexed threshold ≥ theta,
 // or len(grid) when theta exceeds every indexed threshold.

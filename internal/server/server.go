@@ -491,8 +491,7 @@ type StatsResponse struct {
 // bounded threshold tests each cascade stage resolved, and how many fell
 // through to a completed Hungarian solve.
 type PruneResponse struct {
-	Size         int64 `json:"size"`
-	Histogram    int64 `json:"histogram"`
+	Embedding    int64 `json:"embedding"`
 	RowMin       int64 `json:"rowMin"`
 	Greedy       int64 `json:"greedy"`
 	Dual         int64 `json:"dual"`
@@ -522,8 +521,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ExactDistances:  snap.QueryTotals.ExactDistances,
 		PrunedDistances: snap.QueryTotals.PrunedDistances,
 		Prune: PruneResponse{
-			Size:         snap.Prune.Size,
-			Histogram:    snap.Prune.Histogram,
+			Embedding:    snap.Prune.Embedding,
 			RowMin:       snap.Prune.RowMin,
 			Greedy:       snap.Prune.Greedy,
 			Dual:         snap.Prune.Dual,

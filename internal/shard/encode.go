@@ -13,18 +13,24 @@ import (
 	"graphrep/internal/nbindex"
 )
 
-// Serialization layout, format v2 (sharded): the magic, the shared θ grid,
-// the shard count, then one section per shard — its declared [base,
-// base+count) range followed by the vantage ordering and NB-Tree snapshots.
-// v1 files (the pre-shard single-index layout, magic NBIDX001) are still
-// accepted and load as a single shard, unchanged.
+// Serialization layout, format v3 (sharded + embeddings): the magic, the
+// shared θ grid, the shard count, then one section per shard — its declared
+// [base, base+count) range, the vantage ordering and NB-Tree snapshots, and
+// the shard's filter-embedding vectors. Two older layouts are still
+// accepted: v2 files (NBIDX002, sharded but without embedding sections) and
+// v1 files (NBIDX001, the pre-shard single-index layout, loaded as one
+// shard). Both compat paths recompute the embeddings from the database —
+// they are a pure function of the graphs — so a pre-embedding file answers
+// queries identically to a fresh v3 save.
 
-var setMagic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '2'}
+var setMagic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '3'}
+var v2Magic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '2'}
 var v1Magic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '1'}
 
-// Encode persists the set in the v2 sharded layout. Output bytes are a pure
+// Encode persists the set in the v3 sharded layout. Output bytes are a pure
 // function of the set's contents — shard sections are written in shard
-// order — so they are identical for any build worker count.
+// order, and embeddings depend only on the graphs — so they are identical
+// for any build worker count and for either bounded-kernel setting.
 func (s *Set) Encode(w io.Writer) error {
 	if _, err := w.Write(setMagic[:]); err != nil {
 		return err
@@ -48,12 +54,16 @@ func (s *Set) Encode(w io.Writer) error {
 		if err := part.EncodePart(w); err != nil {
 			return err
 		}
+		if err := part.EncodeEmbeddings(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// Read loads a set written by Encode (v2) or by the pre-shard single-index
-// Encode (v1, loaded as one shard) with no cancellation. See ReadContext.
+// Read loads a set written by Encode (v3), by the pre-embedding sharded
+// Encode (v2), or by the pre-shard single-index Encode (v1, loaded as one
+// shard) with no cancellation. See ReadContext.
 func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Set, error) {
 	return ReadContext(context.Background(), r, db, m)
 }
@@ -82,7 +92,8 @@ func ReadContext(ctx context.Context, r io.Reader, db *graph.Database, m metric.
 		}
 		return &Set{db: db, m: m, grid: ix.Grid(), parts: []*nbindex.Index{ix}}, nil
 	}
-	if magic != setMagic {
+	withEmbeddings := magic == setMagic
+	if !withEmbeddings && magic != v2Magic {
 		return nil, fmt.Errorf("shard: bad magic %q", magic[:])
 	}
 	var gridLen int64
@@ -121,6 +132,15 @@ func ReadContext(ctx context.Context, r io.Reader, db *graph.Database, m metric.
 		}
 		part, err := nbindex.ReadPart(r, db, m, grid, graph.ID(base), int(count))
 		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", p, err)
+		}
+		if withEmbeddings {
+			if err := part.DecodeEmbeddings(r); err != nil {
+				return nil, fmt.Errorf("shard: shard %d: %w", p, err)
+			}
+		} else if err := part.ComputeEmbeddings(ctx, 0); err != nil {
+			// v2 compat: the file carries no embedding sections; rebuild the
+			// vectors from the database.
 			return nil, fmt.Errorf("shard: shard %d: %w", p, err)
 		}
 		s.parts[p] = part

@@ -296,17 +296,65 @@ func TestV1IndexGolden(t *testing.T) {
 		t.Error("v1-loaded engine sweep curve differs from fresh build")
 	}
 	// A re-save upgrades to the current format and still round-trips.
-	var v2 bytes.Buffer
-	if err := loaded.SaveIndex(&v2); err != nil {
+	var upBuf bytes.Buffer
+	if err := loaded.SaveIndex(&upBuf); err != nil {
 		t.Fatal(err)
 	}
-	upgraded, err := graphrep.OpenWithIndex(db, &v2)
+	upgraded, err := graphrep.OpenWithIndex(db, &upBuf)
 	if err != nil {
 		t.Fatalf("re-saved v1 index does not reload: %v", err)
 	}
 	gotAnswers, _, _ = collectAnswers(t, upgraded, 5)
 	if !reflect.DeepEqual(gotAnswers, wantAnswers) {
-		t.Error("upgraded (v1→v2) index answers differ")
+		t.Error("upgraded (v1→v3) index answers differ")
+	}
+}
+
+// TestV2IndexGolden loads the committed pre-embedding (format v2) index
+// blob — generated by the engine as it existed before the filter-embedding
+// tier, over dud n=120 seed=7 with two shards — and checks the compat path:
+// it loads with its shard layout intact, the embeddings are recomputed from
+// the database, answers match a fresh build exactly, and a re-save upgrades
+// to bytes identical to a fresh v3 save (embeddings are a pure function of
+// the graphs, so the recomputed vectors equal the ones a fresh build
+// persists).
+func TestV2IndexGolden(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("testdata", "index_v2_dud120_seed7.nbx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrep.GenerateDataset("dud", 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := graphrep.OpenWithIndex(db, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatalf("v2 index blob no longer loads: %v", err)
+	}
+	if loaded.Shards() != 2 {
+		t.Fatalf("v2 index loaded as %d shards, want 2", loaded.Shards())
+	}
+	fresh, err := graphrep.Open(db, graphrep.Options{Seed: 7, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAnswers, _, wantPoints := collectAnswers(t, fresh, 5)
+	gotAnswers, _, gotPoints := collectAnswers(t, loaded, 5)
+	if !reflect.DeepEqual(gotAnswers, wantAnswers) {
+		t.Errorf("v2-loaded engine answers differ from fresh build:\n got %+v\nwant %+v", gotAnswers, wantAnswers)
+	}
+	if !reflect.DeepEqual(gotPoints, wantPoints) {
+		t.Error("v2-loaded engine sweep curve differs from fresh build")
+	}
+	var upgraded, freshSave bytes.Buffer
+	if err := loaded.SaveIndex(&upgraded); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.SaveIndex(&freshSave); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(upgraded.Bytes(), freshSave.Bytes()) {
+		t.Error("upgraded (v2→v3) index bytes differ from a fresh v3 save")
 	}
 }
 

@@ -154,8 +154,7 @@ func TestEngineTelemetryExposition(t *testing.T) {
 		"graphrep_nbindex_pq_pops_bucket",
 		"graphrep_nbindex_exact_distances_count 1",
 		"graphrep_nbindex_pruned_distances_count 1",
-		"graphrep_metric_prune_size_total",
-		"graphrep_metric_prune_histogram_total",
+		"graphrep_metric_prune_embedding_total",
 		"graphrep_metric_prune_rowmin_total",
 		"graphrep_metric_prune_greedy_total",
 		"graphrep_metric_prune_dual_total",
@@ -201,7 +200,7 @@ func TestTelemetryCustomMetric(t *testing.T) {
 	if strings.Contains(sb.String(), "graphrep_distance_cache_hits_total") {
 		t.Error("cache metrics registered without a cache")
 	}
-	if strings.Contains(sb.String(), "graphrep_metric_prune_size_total") {
+	if strings.Contains(sb.String(), "graphrep_metric_prune_embedding_total") {
 		t.Error("bound-cascade metrics registered without the default metric")
 	}
 	if snap.Prune != (graphrep.PruneStats{}) {
