@@ -11,10 +11,13 @@
 //	repbench -bench-shards smoke.json -shards 2 -bench-n 200
 //	repbench -bench-kernel BENCH_kernel.json -bench-n 400
 //	repbench -bench-kernel BENCH_kernel.json -bench-sizes 400,4000
+//	repbench -bench-load BENCH_load.json
+//	repbench -bench-load BENCH_load.json -bench-sizes 400,4000
 //
-// -bench-kernel doubles as a regression gate: the process exits non-zero
-// when the bounded kernel's query path is not strictly faster than the
-// exact baseline at any benchmarked size.
+// -bench-kernel and -bench-load double as regression gates: the process
+// exits non-zero when the bounded kernel's query path is not strictly
+// faster than the exact baseline, or the mapped v4 index open is not
+// strictly faster than the v3 gob decode, at any benchmarked size.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		out         = flag.String("out", "", "also write output to this file")
 		benchShard  = flag.String("bench-shards", "", "run the shard build/query benchmark and write the JSON report to this file (skips experiments)")
 		benchKern   = flag.String("bench-kernel", "", "run the bounded-kernel on/off comparison and write the JSON report to this file (skips experiments)")
+		benchLd     = flag.String("bench-load", "", "run the index open-cost comparison (v3 decode vs v4 mmap) and write the JSON report to this file (skips experiments)")
 		shards      = flag.Int("shards", 0, "with -bench-shards: benchmark only this shard count (0 = the 1/2/4 sweep)")
 		benchShardN = flag.Int("bench-n", 400, "with -bench-shards/-bench-kernel: benchmark database size")
 		benchSizes  = flag.String("bench-sizes", "", "with -bench-kernel: comma-separated database sizes (overrides -bench-n)")
@@ -50,8 +54,14 @@ func main() {
 	if *shards > 0 && *benchShard == "" {
 		usageError("-shards requires -bench-shards")
 	}
-	if *benchShard != "" && *benchKern != "" {
-		usageError("-bench-shards and -bench-kernel are mutually exclusive")
+	modes := 0
+	for _, m := range []string{*benchShard, *benchKern, *benchLd} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		usageError("-bench-shards, -bench-kernel, and -bench-load are mutually exclusive")
 	}
 
 	if *benchShard != "" {
@@ -60,11 +70,16 @@ func main() {
 		}
 		return
 	}
-	if *benchSizes != "" && *benchKern == "" {
-		usageError("-bench-sizes requires -bench-kernel")
+	if *benchSizes != "" && *benchKern == "" && *benchLd == "" {
+		usageError("-bench-sizes requires -bench-kernel or -bench-load")
 	}
-	if *benchKern != "" {
+	if *benchKern != "" || *benchLd != "" {
 		sizes := []int{*benchShardN}
+		if *benchLd != "" && *benchSizes == "" {
+			// The load benchmark's point is the scaling contrast, so its
+			// default is the two-size sweep rather than a single n.
+			sizes = []int{400, 4000}
+		}
 		if *benchSizes != "" {
 			sizes = sizes[:0]
 			for _, s := range strings.Split(*benchSizes, ",") {
@@ -75,7 +90,13 @@ func main() {
 				sizes = append(sizes, n)
 			}
 		}
-		if err := benchKernel(os.Stdout, *benchKern, sizes); err != nil {
+		if *benchKern != "" {
+			if err := benchKernel(os.Stdout, *benchKern, sizes); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := benchLoad(os.Stdout, *benchLd, sizes); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,5 +1,6 @@
 // Command replint is the repo's invariant linter: a multichecker over the
-// internal/analysis suite (detrand, lockguard, ctxflow, metricname). It runs
+// internal/analysis suite (detrand, lockguard, ctxflow, metricname,
+// unsafeconfine). It runs
 // two ways:
 //
 // Standalone, against the module in the current directory:
@@ -43,17 +44,19 @@ import (
 	"graphrep/internal/analysis/framework"
 	"graphrep/internal/analysis/lockguard"
 	"graphrep/internal/analysis/metricname"
+	"graphrep/internal/analysis/unsafeconfine"
 )
 
 // version feeds go vet's tool-identity cache; bump it when analyzer behavior
 // changes so stale cached verdicts are invalidated.
-const version = "replint-1.0.0"
+const version = "replint-1.1.0"
 
 var analyzers = []*framework.Analyzer{
 	ctxflow.Analyzer,
 	detrand.Analyzer,
 	lockguard.Analyzer,
 	metricname.Analyzer,
+	unsafeconfine.Analyzer,
 }
 
 func main() {

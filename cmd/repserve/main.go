@@ -117,12 +117,13 @@ func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, err
 // openEngine loads a persisted index when available (its stored shard count
 // wins over the -shards flag), otherwise builds one (on up to workers
 // goroutines, split into shards partitions) and persists it to indexPath
-// (when given).
+// (when given). Stored v4 indexes are memory-mapped — the process starts
+// serving immediately and index pages fault in on first use; the mapping
+// lives as long as the process, so the engine is never Closed here.
 func openEngine(db *graphrep.Database, indexPath string, seed int64, workers, shards int) (*graphrep.Engine, error) {
 	if indexPath != "" {
-		if f, err := os.Open(indexPath); err == nil {
-			defer f.Close()
-			engine, err := graphrep.OpenWithIndex(db, f, graphrep.Options{Workers: workers})
+		if _, err := os.Stat(indexPath); err == nil {
+			engine, err := graphrep.OpenWithIndexFile(db, indexPath, graphrep.Options{Workers: workers})
 			if err == nil {
 				log.Printf("loaded index from %s (%d shard(s))", indexPath, engine.Shards())
 				return engine, nil

@@ -35,6 +35,7 @@
 package graphrep
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -47,6 +48,7 @@ import (
 	"graphrep/internal/ged"
 	"graphrep/internal/graph"
 	"graphrep/internal/metric"
+	"graphrep/internal/mmapfile"
 	"graphrep/internal/nbindex"
 	"graphrep/internal/pool"
 	"graphrep/internal/shard"
@@ -161,6 +163,13 @@ type Options struct {
 	// measures the savings against it) and for bisecting a suspected kernel
 	// difference.
 	DisableBoundedKernel bool
+	// DisableMmap makes OpenWithIndexFile read the index file into memory
+	// instead of memory-mapping it. Queries, answers, and statistics are
+	// identical either way — only residency changes: a mapped index is paged
+	// in on demand and shared between processes, a read one is private heap.
+	// Platforms without mmap support always read; this forces the same on
+	// platforms that have it.
+	DisableMmap bool
 }
 
 // Engine answers top-k representative queries over one database through an
@@ -172,6 +181,23 @@ type Engine struct {
 	m   metric.Metric
 	set *shard.Set
 	tel *Telemetry
+	// closer releases the index file mapping when the engine came from
+	// OpenWithIndexFile; nil otherwise. Guarded only by the Close contract:
+	// callers must not close while queries are in flight.
+	closer io.Closer
+}
+
+// Close releases the engine's resources — today, the index file mapping held
+// by an engine opened with OpenWithIndexFile. It is a no-op for engines from
+// Open or OpenWithIndex. No queries, sessions, or sweeps may be in flight or
+// issued afterwards: their data lives in the mapping being unmapped.
+func (e *Engine) Close() error {
+	if e.closer == nil {
+		return nil
+	}
+	c := e.closer
+	e.closer = nil
+	return c.Close()
 }
 
 // Open indexes db and returns a query engine. It is OpenContext with no
@@ -266,16 +292,23 @@ func OpenContext(ctx context.Context, db *Database, opts ...Options) (*Engine, e
 // primeEmbeddings hands the per-shard filter embeddings carried by the index
 // (built or loaded) to the default metric, so threshold tests on far pairs
 // resolve from the cached vectors without ever materializing a star
-// signature. A no-op for custom metrics (stages is nil) — they have no
-// embedding tier.
+// signature. View-backed shards (v4, typically mmapped) prime their encoded
+// table instead — the metric decodes records lazily on first use, so opening
+// a large index stays O(1) while the decoded values (and therefore every
+// decision and stage counter) are identical to eager priming. A no-op for
+// custom metrics (stages is nil) — they have no embedding tier.
 func primeEmbeddings(set *shard.Set, stages metric.StageCounter) {
-	p, ok := stages.(metric.EmbeddingPrimer)
-	if !ok {
-		return
-	}
 	for i := 0; i < set.Shards(); i++ {
 		part := set.Part(i)
-		p.PrimeEmbeddings(part.Base(), part.Embeddings())
+		if tab := part.EmbeddingTable(); tab != nil {
+			if tp, ok := stages.(metric.EmbeddingTablePrimer); ok {
+				tp.PrimeEmbeddingTable(part.Base(), tab)
+			}
+			continue
+		}
+		if p, ok := stages.(metric.EmbeddingPrimer); ok {
+			p.PrimeEmbeddings(part.Base(), part.Embeddings())
+		}
 	}
 }
 
@@ -306,10 +339,11 @@ func instrumentMetric(db *Database, custom Metric) (metric.Metric, *metric.Count
 // OpenWithIndex reopens a database with an index previously persisted by
 // SaveIndex, skipping index construction entirely. The database must be the
 // same one the index was built over. It is OpenWithIndexContext with no
-// cancellation. Current (v3, sharded with filter embeddings), pre-embedding
-// (v2), and pre-shard (v1) index files all load; older files come up with
-// their embeddings recomputed from the database (v1 as a single shard) and
-// answer identically.
+// cancellation. Current (v4, the zero-copy container), embedded-gob (v3),
+// pre-embedding (v2), and pre-shard (v1) index files all load and answer
+// identically; pre-embedding files come up with their embeddings recomputed
+// from the database (v1 as a single shard). To map the index file instead of
+// streaming it, use OpenWithIndexFile.
 func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) {
 	return OpenWithIndexContext(context.Background(), db, r, opts...)
 }
@@ -318,6 +352,68 @@ func OpenWithIndex(db *Database, r io.Reader, opts ...Options) (*Engine, error) 
 // ctx at every shard-section boundary, so a cancelled or expired context
 // makes it return ctx.Err() promptly with no engine.
 func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts ...Options) (*Engine, error) {
+	return openWithIndex(db, opts, func(m metric.Metric) (*shard.Set, io.Closer, error) {
+		set, err := shard.ReadContext(ctx, r, db, m)
+		return set, nil, err
+	})
+}
+
+// OpenWithIndexFile reopens a database with an index file previously written
+// by SaveIndex. v4 files are memory-mapped (unless Options.DisableMmap is
+// set or the platform lacks support) and served zero-copy: the open cost is
+// independent of the index size, pages fault in on first use, and concurrent
+// queries share one read-only mapping. Call Engine.Close when done to
+// release the mapping — after no queries remain in flight. Legacy formats
+// (v1–v3) are decoded to the heap as OpenWithIndex would; Close is then a
+// no-op. It is OpenWithIndexFileContext with no cancellation.
+func OpenWithIndexFile(db *Database, path string, opts ...Options) (*Engine, error) {
+	return OpenWithIndexFileContext(context.Background(), db, path, opts...)
+}
+
+// OpenWithIndexFileContext is OpenWithIndexFile with cancellation, observed
+// at every shard boundary of the load.
+func OpenWithIndexFileContext(ctx context.Context, db *Database, path string, opts ...Options) (*Engine, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return openWithIndex(db, opts, func(m metric.Metric) (*shard.Set, io.Closer, error) {
+		f, err := openIndexFile(path, o.DisableMmap)
+		if err != nil {
+			return nil, nil, err
+		}
+		data := f.Bytes()
+		if len(data) >= 8 && string(data[:8]) == "NBIDX004" {
+			set, err := shard.ReadBytesContext(ctx, data, db, m)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			// The set serves queries from views over data; the mapping must
+			// outlive it, so hand the file to the engine.
+			return set, f, nil
+		}
+		// Legacy stream format: decode copies everything to the heap, so the
+		// file can be released immediately.
+		set, err := shard.ReadContext(ctx, bytes.NewReader(data), db, m)
+		f.Close()
+		return set, nil, err
+	})
+}
+
+// openIndexFile maps path read-only, or reads it when mapping is disabled or
+// unsupported.
+func openIndexFile(path string, disableMmap bool) (*mmapfile.File, error) {
+	if disableMmap {
+		return mmapfile.OpenReadAll(path)
+	}
+	return mmapfile.Open(path)
+}
+
+// openWithIndex is the shared tail of every index-loading open: instrument
+// the metric, run the format-specific load, prime embeddings, and wire
+// telemetry.
+func openWithIndex(db *Database, opts []Options, load func(metric.Metric) (*shard.Set, io.Closer, error)) (*Engine, error) {
 	if db == nil || db.Len() == 0 {
 		return nil, fmt.Errorf("graphrep: empty database")
 	}
@@ -332,7 +428,7 @@ func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts .
 	if o.DisableBoundedKernel {
 		m = metric.ExactOnly(m)
 	}
-	set, err := shard.ReadContext(ctx, r, db, m)
+	set, closer, err := load(m)
 	if err != nil {
 		return nil, err
 	}
@@ -342,16 +438,24 @@ func OpenWithIndexContext(ctx context.Context, db *Database, r io.Reader, opts .
 	primeEmbeddings(set, stages)
 	tel, err := newEngineTelemetry(db, set, counter, cache, stages, 0, o.Workers)
 	if err != nil {
+		if closer != nil {
+			closer.Close()
+		}
 		return nil, err
 	}
-	return &Engine{db: db, m: m, set: set, tel: tel}, nil
+	return &Engine{db: db, m: m, set: set, tel: tel, closer: closer}, nil
 }
 
-// SaveIndex persists the engine's NB-Index so a later OpenWithIndex can skip
-// construction (the offline step of Fig. 6(k)). The format (v3) records every
-// shard along with its filter embeddings; OpenWithIndex restores the same
-// shard layout and hands the embeddings straight to the metric.
+// SaveIndex persists the engine's NB-Index so a later OpenWithIndex (or
+// OpenWithIndexFile, which memory-maps it) can skip construction — the
+// offline step of Fig. 6(k). The format (v4) is a flat offset-tabled layout
+// recording every shard along with its filter embeddings, readable in place.
 func (e *Engine) SaveIndex(w io.Writer) error { return e.set.Encode(w) }
+
+// SaveIndexV3 persists the index in the legacy v3 gob layout, for
+// interoperability with older tooling. OpenWithIndex loads either format and
+// answers identically.
+func (e *Engine) SaveIndexV3(w io.Writer) error { return e.set.EncodeV3(w) }
 
 // Shards returns the number of index shards (1 unless Options.Shards asked
 // for more, or the loaded index file recorded more).

@@ -1,0 +1,316 @@
+package graphrep_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"graphrep"
+)
+
+// The v4 (zero-copy mmap) persistence contract, as tests:
+//
+//   - a v4 index opened from a mapped file answers byte-identically —
+//     answers, sweep curves, AND QueryStats — to the same index loaded from
+//     a v3 stream, for every shard count × worker count combination;
+//   - one shared mapping serves any number of concurrent query goroutines
+//     (the -race build is the real assertion);
+//   - DisableMmap (and platforms without mmap) read the file instead, with
+//     identical results;
+//   - every committed golden blob (v1..v4, same dud-120 seed-7 database)
+//     loads, answers identically to a fresh build, and re-saves to the same
+//     v4 bytes a fresh engine writes.
+
+// saveBoth persists engine in both formats: the legacy v3 stream and a v4
+// file on disk.
+func saveBoth(t *testing.T, engine *graphrep.Engine, dir string, tag string) ([]byte, string) {
+	t.Helper()
+	var v3 bytes.Buffer
+	if err := engine.SaveIndexV3(&v3); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, tag+".nbx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.SaveIndex(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return v3.Bytes(), path
+}
+
+// TestV4MmapEqualsV3Loaded is the tentpole acceptance matrix: the same index
+// opened from a v3 stream and from a v4 memory mapping must produce
+// byte-identical answers, sweep curves, and per-query work statistics — the
+// view-backed query path does exactly the work the heap-backed one does —
+// for shard counts 1, 2, 4 and session workers 1 and GOMAXPROCS.
+func TestV4MmapEqualsV3Loaded(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, shards := range []int{1, 2, 4} {
+		engine, err := graphrep.Open(db, graphrep.Options{Seed: 5, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v3blob, v4path := saveBoth(t, engine, dir, fmt.Sprintf("s%d", shards))
+		wantAnswers, _, wantPoints := collectAnswers(t, engine, 5)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			opts := graphrep.Options{Workers: workers}
+			fromV3, err := graphrep.OpenWithIndex(db, bytes.NewReader(v3blob), opts)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: v3 load: %v", shards, workers, err)
+			}
+			fromV4, err := graphrep.OpenWithIndexFile(db, v4path, opts)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: v4 open: %v", shards, workers, err)
+			}
+			v3Answers, v3Stats, v3Points := collectAnswers(t, fromV3, 5)
+			v4Answers, v4Stats, v4Points := collectAnswers(t, fromV4, 5)
+			for _, e := range []struct {
+				name    string
+				engine  *graphrep.Engine
+				answers []answer
+				points  []graphrep.ThetaPoint
+			}{{"v3-loaded", fromV3, v3Answers, v3Points}, {"v4-mmapped", fromV4, v4Answers, v4Points}} {
+				if e.engine.Shards() != shards {
+					t.Fatalf("%s engine has %d shards, want %d", e.name, e.engine.Shards(), shards)
+				}
+				if !reflect.DeepEqual(e.answers, wantAnswers) {
+					t.Errorf("shards=%d workers=%d: %s answers differ from the built engine:\n got %+v\nwant %+v",
+						shards, workers, e.name, e.answers, wantAnswers)
+				}
+				if !reflect.DeepEqual(e.points, wantPoints) {
+					t.Errorf("shards=%d workers=%d: %s sweep curve differs from the built engine",
+						shards, workers, e.name)
+				}
+			}
+			// QueryStats are compared between the two LOADED engines, not
+			// against the builder: a fresh build leaves the distance cache
+			// warm, which legitimately shifts the pruned/exact split. The two
+			// cold-started engines must match each other field for field —
+			// the zero-copy path does exactly the work the heap path does.
+			if !reflect.DeepEqual(v4Stats, v3Stats) {
+				t.Errorf("shards=%d workers=%d: v4-mmapped query stats differ from v3-loaded:\n got %+v\nwant %+v",
+					shards, workers, v4Stats, v3Stats)
+			}
+			// A v4-mmapped engine re-saves to the exact bytes on disk.
+			var again bytes.Buffer
+			if err := fromV4.SaveIndex(&again); err != nil {
+				t.Fatal(err)
+			}
+			disk, err := os.ReadFile(v4path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again.Bytes(), disk) {
+				t.Errorf("shards=%d workers=%d: v4-mmapped re-save differs from the file it was opened from",
+					shards, workers)
+			}
+			if err := fromV4.Close(); err != nil {
+				t.Errorf("shards=%d workers=%d: close: %v", shards, workers, err)
+			}
+		}
+	}
+}
+
+// TestV4ConcurrentQueriesSharedMapping runs many query goroutines — separate
+// sessions and a shared session — against one mapped index. Under -race this
+// is the data-race acceptance test for the zero-copy read path, including
+// the lazily-decoded embedding table.
+func TestV4ConcurrentQueriesSharedMapping(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 7, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	_, v4path := saveBoth(t, engine, dir, "conc")
+	wantAnswers, _, wantPoints := collectAnswers(t, engine, 5)
+
+	mapped, err := graphrep.OpenWithIndexFile(db, v4path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	rel := graphrep.FirstQuartileRelevance(db, nil)
+	shared, err := mapped.NewSession(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := shared
+			if g%2 == 0 {
+				var err error
+				if sess, err = mapped.NewSession(rel); err != nil {
+					errs <- err
+					return
+				}
+			}
+			for i, theta := range equalityThetas {
+				res, err := sess.TopK(theta, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := answer{Answer: res.Answer, Gains: res.Gains,
+					Covered: res.Covered, Relevant: res.Relevant, Power: res.Power}
+				if !reflect.DeepEqual(got, wantAnswers[i]) {
+					errs <- fmt.Errorf("goroutine %d theta=%v: answer differs from built engine", g, theta)
+					return
+				}
+			}
+			points, err := sess.SweepTheta(5)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(points, wantPoints) {
+				errs <- fmt.Errorf("goroutine %d: sweep curve differs from built engine", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestOpenWithIndexFileDisableMmap checks the read fallback: with mapping
+// disabled the same file produces identical answers, and Close stays safe
+// (idempotent, and a no-op for heap-backed engines).
+func TestOpenWithIndexFileDisableMmap(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := graphrep.Open(db, graphrep.Options{Seed: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v3blob, v4path := saveBoth(t, engine, dir, "fallback")
+	// Baseline: the mapped open. (Not the builder — its warm distance cache
+	// legitimately shifts the pruned/exact stats split.)
+	mapped, err := graphrep.OpenWithIndexFile(db, v4path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	wantAnswers, wantStats, _ := collectAnswers(t, mapped, 4)
+
+	noMmap, err := graphrep.OpenWithIndexFile(db, v4path, graphrep.Options{DisableMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, stats, _ := collectAnswers(t, noMmap, 4)
+	if !reflect.DeepEqual(answers, wantAnswers) || !reflect.DeepEqual(stats, wantStats) {
+		t.Error("DisableMmap engine answers or stats differ from the mapped engine")
+	}
+	if err := noMmap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := noMmap.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A legacy v3 file also opens through the file API (decoded to the heap).
+	v3path := filepath.Join(dir, "legacy_v3.nbx")
+	if err := os.WriteFile(v3path, v3blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := graphrep.OpenWithIndexFile(db, v3path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	answers, stats, _ = collectAnswers(t, legacy, 4)
+	if !reflect.DeepEqual(answers, wantAnswers) || !reflect.DeepEqual(stats, wantStats) {
+		t.Error("v3-file engine answers or stats differ from the mapped engine")
+	}
+}
+
+// TestIndexCompatMatrix loads every committed golden blob — one per format
+// generation, all over the same dud-120 seed-7 database — and checks the
+// full compatibility contract: each loads with its original shard layout,
+// answers exactly like a fresh build, and re-saves to the same v4 bytes a
+// fresh engine of the same shard count writes. (v1 predates sharding, so it
+// compares against a 1-shard save; v2–v4 were written with two shards.)
+func TestIndexCompatMatrix(t *testing.T) {
+	db, err := graphrep.GenerateDataset("dud", 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSaves := map[int][]byte{}
+	var wantAnswers []answer
+	var wantPoints []graphrep.ThetaPoint
+	for _, shards := range []int{1, 2} {
+		fresh, err := graphrep.Open(db, graphrep.Options{Seed: 7, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fresh.SaveIndex(&buf); err != nil {
+			t.Fatal(err)
+		}
+		freshSaves[shards] = buf.Bytes()
+		if shards == 2 {
+			wantAnswers, _, wantPoints = collectAnswers(t, fresh, 5)
+		}
+	}
+	for _, tc := range []struct {
+		file   string
+		shards int
+	}{
+		{"index_v1_dud120_seed7.nbx", 1},
+		{"index_v2_dud120_seed7.nbx", 2},
+		{"index_v3_dud120_seed7.nbx", 2},
+		{"index_v4_dud120_seed7.nbx", 2},
+	} {
+		blob, err := os.ReadFile(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := graphrep.OpenWithIndex(db, bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("%s no longer loads: %v", tc.file, err)
+		}
+		if loaded.Shards() != tc.shards {
+			t.Fatalf("%s loaded as %d shards, want %d", tc.file, loaded.Shards(), tc.shards)
+		}
+		answers, _, points := collectAnswers(t, loaded, 5)
+		if !reflect.DeepEqual(answers, wantAnswers) {
+			t.Errorf("%s answers differ from a fresh build:\n got %+v\nwant %+v", tc.file, answers, wantAnswers)
+		}
+		if !reflect.DeepEqual(points, wantPoints) {
+			t.Errorf("%s sweep curve differs from a fresh build", tc.file)
+		}
+		var resave bytes.Buffer
+		if err := loaded.SaveIndex(&resave); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resave.Bytes(), freshSaves[tc.shards]) {
+			t.Errorf("%s re-saved bytes differ from a fresh %d-shard v4 save", tc.file, tc.shards)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Package mmapfile is a fixture standing in for internal/mmapfile, the one
+// package exempt from the confinement: it exists to hold exactly this code.
+package mmapfile
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+func Map(fd, n int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func Unmap(b []byte) error { return syscall.Munmap(b) }
+
+func Addr(p *byte) uintptr { return uintptr(unsafe.Pointer(p)) }

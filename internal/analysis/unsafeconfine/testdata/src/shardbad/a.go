@@ -1,0 +1,34 @@
+// Package shardbad is a fixture that reaches for unsafe machinery outside
+// the mmapfile confinement boundary.
+package shardbad
+
+import (
+	sys "syscall"
+	"unsafe" // want `import of unsafe outside internal/mmapfile`
+)
+
+func bad(fd, n int) ([]byte, error) {
+	return sys.Mmap(fd, 0, n, sys.PROT_READ, sys.MAP_SHARED) // want `raw syscall\.Mmap outside internal/mmapfile`
+}
+
+func badUnmap(b []byte) error {
+	return sys.Munmap(b) // want `raw syscall\.Munmap outside internal/mmapfile`
+}
+
+func ptr(p *int) uintptr {
+	// Uses of unsafe are not reported separately; the import diagnostic
+	// above covers the file.
+	return uintptr(unsafe.Pointer(p))
+}
+
+type fakeSyscaller struct{}
+
+func (fakeSyscaller) Mmap(int) {}
+
+func good(s fakeSyscaller) {
+	// Methods named Mmap on local types are not the syscall.
+	fakeSyscaller{}.Mmap(0)
+	s.Mmap(1)
+	b, _ := sys.Mmap(0, 0, 0, 0, 0) //lint:allow unsafeconfine sanctioned fixture exception
+	_ = b
+}

@@ -1,0 +1,81 @@
+// Package unsafeconfine confines memory-unsafe machinery to the one package
+// built to contain it: internal/mmapfile. Importing unsafe, and calling the
+// raw mapping syscalls (syscall.Mmap / syscall.Munmap), are reported
+// everywhere else in the tree.
+//
+// The v4 zero-copy index format works by reinterpreting mapped bytes as
+// typed slices; that reinterpretation is sound only under the alignment,
+// endianness, and lifetime invariants mmapfile's View enforces. A second
+// unsafe.Slice call site elsewhere would re-derive those invariants ad hoc —
+// the audit surface this analyzer exists to keep at exactly one package.
+// Callers that need a typed view take a []byte through mmapfile.View; the
+// rest of the tree stays provably within the memory-safe subset of the
+// language.
+package unsafeconfine
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphrep/internal/analysis/framework"
+)
+
+// Analyzer is the unsafeconfine check.
+var Analyzer = &framework.Analyzer{
+	Name: "unsafeconfine",
+	Doc: "unsafe and raw mmap syscalls are confined to internal/mmapfile; " +
+		"everything else takes typed views through mmapfile.View",
+	Run: run,
+}
+
+// confined reports whether pkg is the one package allowed to hold unsafe
+// code. Matching is by import path suffix so the real package and the
+// analyzer-fixture stub both qualify.
+func confined(pkg *types.Package) bool {
+	return pkg.Path() == "mmapfile" || strings.HasSuffix(pkg.Path(), "/mmapfile")
+}
+
+// rawSyscalls are the syscall-package functions that create or destroy
+// mappings; the confinement applies to them like it does to unsafe, since a
+// mapping's lifetime is exactly what makes views over it dangerous.
+var rawSyscalls = map[string]bool{
+	"Mmap":   true,
+	"Munmap": true,
+}
+
+func run(pass *framework.Pass) error {
+	if confined(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"unsafe"` {
+				pass.Reportf(imp.Pos(),
+					"import of unsafe outside internal/mmapfile; use mmapfile.View for typed access to raw bytes")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !rawSyscalls[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "syscall" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"raw syscall.%s outside internal/mmapfile; open mappings through mmapfile.Open so their lifetime is managed in one place",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

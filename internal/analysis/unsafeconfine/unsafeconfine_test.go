@@ -1,0 +1,12 @@
+package unsafeconfine_test
+
+import (
+	"testing"
+
+	"graphrep/internal/analysis/analysistest"
+	"graphrep/internal/analysis/unsafeconfine"
+)
+
+func TestUnsafeconfine(t *testing.T) {
+	analysistest.Run(t, "testdata", unsafeconfine.Analyzer, "shardbad", "mmapfile")
+}

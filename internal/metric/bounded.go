@@ -127,6 +127,16 @@ type EmbeddingPrimer interface {
 	PrimeEmbeddings(base graph.ID, embs []*ged.Embedding)
 }
 
+// EmbeddingTablePrimer is implemented by metrics that can adopt a per-shard
+// embedding table in its encoded form (the default star metric does). An
+// engine that opens a mapped v4 index registers the table instead of eagerly
+// decoding every vector; the metric decodes records on first use. Decoded
+// vectors are identical to eagerly primed ones, so answers and stage
+// attribution are independent of the priming path.
+type EmbeddingTablePrimer interface {
+	PrimeEmbeddingTable(base graph.ID, tab *ged.Table)
+}
+
 // Within implements BoundedMetric via the ged bound cascade.
 func (m *starMetric) Within(a, b graph.ID, theta float64) bool {
 	return m.boundedDecide(a, b, theta).leq
@@ -186,8 +196,8 @@ func (m *starMetric) boundedDecide(a, b graph.ID, theta float64) decision {
 // least half the solve) — so that tier breaks even when about half its armed
 // attempts fire. Each gate watches its tier's live fire rate over the
 // decisions that actually ran it and retires the tier for the metric's
-// lifetime once, past a warmup of gateWarmup attempts, the rate sits below
-// the tier's breakeven. Retiring a tier never changes a verdict (a skipped
+// lifetime once, past the metric's warmup (gateWarmupFor at construction),
+// the rate sits below the tier's breakeven. Retiring a tier never changes a verdict (a skipped
 // greedy success falls through to the exact solve, which proves the same
 // answer and memoizes more; an unarmed solve simply completes), so answers
 // stay byte-identical; only the stage composition shifts. Once closed a gate
@@ -197,10 +207,26 @@ func (m *starMetric) boundedDecide(a, b graph.ID, theta float64) decision {
 // workload sits near 12% greedy and 0% dual and retires both shortly after
 // warmup, shedding their cost on the ~90% of decisions they were losing.
 const (
-	gateWarmup        = 4096
+	gateWarmupFloor   = 4096
 	greedyGateMinRate = 0.25
 	dualGateMinRate   = 0.5
 )
+
+// gateWarmupFor sizes the gate warmup for an n-graph database:
+// max(gateWarmupFloor, pairs/256) with pairs = n(n−1)/2. The floor keeps
+// small workloads from closing a gate on noise; the pairs/256 term scales
+// the observation window with the workload so that on large databases a
+// tier's measured rate has settled on a representative mix of pairs — a few
+// thousand decisions out of hundreds of millions of candidate pairs is too
+// early to retire a tier for the metric's lifetime. The policy is pinned by
+// TestGateWarmupPolicy.
+func gateWarmupFor(n int) int64 {
+	pairs := int64(n) * int64(n-1) / 2
+	if w := pairs / 256; w > gateWarmupFloor {
+		return w
+	}
+	return gateWarmupFloor
+}
 
 // greedyGateOpen reports whether the greedy tier should still run. Counter
 // reads are racy under concurrent decisions — the gate may close a handful of
@@ -208,7 +234,7 @@ const (
 // end state identical and verdicts never depend on it.
 func (m *starMetric) greedyGateOpen() bool {
 	tried := m.greedyTried.Load()
-	if tried < gateWarmup {
+	if tried < m.gateWarmup {
 		return true
 	}
 	return float64(m.stages[ged.StageGreedy].Load()) >= greedyGateMinRate*float64(tried)
@@ -218,7 +244,7 @@ func (m *starMetric) greedyGateOpen() bool {
 // the decisions that armed it.
 func (m *starMetric) dualGateOpen() bool {
 	tried := m.dualTried.Load()
-	if tried < gateWarmup {
+	if tried < m.gateWarmup {
 		return true
 	}
 	return float64(m.stages[ged.StageDual].Load()) >= dualGateMinRate*float64(tried)

@@ -11,7 +11,7 @@ import (
 
 // gateSpins drives one pair well past the gate warmup, so a closing gate has
 // closed and a live one has proven it stays open.
-const gateSpins = gateWarmup + 256
+const gateSpins = gateWarmupFloor + 256
 
 // pairDB assembles a two-graph database from searched graphs carrying
 // placeholder IDs, re-built at positions 0 and 1.
@@ -51,7 +51,7 @@ func hammerPair(t *testing.T, a, b *graph.Graph, tau float64) PruneStats {
 // A pair deciding at the exact stage is a greedy attempt that never lands:
 // the tier runs and is counted, but the verdict always comes from the
 // completed solve. The gate must retire the tier exactly at the warmup
-// boundary — the attempt denominator freezes at gateWarmup — while every
+// boundary — the attempt denominator freezes at the warmup (the floor, for this two-graph database) — while every
 // decision before and after still lands on the exact stage.
 func TestGreedyGateRetiresMissingTier(t *testing.T) {
 	a, b, tau := findStagePair(t, ged.StageExact)
@@ -59,8 +59,8 @@ func TestGreedyGateRetiresMissingTier(t *testing.T) {
 	if s.Greedy != 0 {
 		t.Fatalf("fixture landed %d greedy successes, want 0 (%+v)", s.Greedy, s)
 	}
-	if s.GreedyTried != gateWarmup {
-		t.Errorf("greedy attempt denominator = %d, want frozen at warmup %d", s.GreedyTried, int64(gateWarmup))
+	if s.GreedyTried != gateWarmupFloor {
+		t.Errorf("greedy attempt denominator = %d, want frozen at warmup %d", s.GreedyTried, int64(gateWarmupFloor))
 	}
 	if s.BoundedExact != gateSpins {
 		t.Errorf("exact stage fired %d of %d decisions: retiring the greedy tier moved decisions off the exact stage", s.BoundedExact, int64(gateSpins))
@@ -138,8 +138,8 @@ func TestDualGateRetiresUnfiringArm(t *testing.T) {
 	if s.Dual != 0 {
 		t.Fatalf("fixture fired %d dual aborts, want 0 (%+v)", s.Dual, s)
 	}
-	if s.DualArmed != gateWarmup {
-		t.Errorf("dual attempt denominator = %d, want frozen at warmup %d", s.DualArmed, int64(gateWarmup))
+	if s.DualArmed != gateWarmupFloor {
+		t.Errorf("dual attempt denominator = %d, want frozen at warmup %d", s.DualArmed, int64(gateWarmupFloor))
 	}
 	if s.BoundedExact != gateSpins {
 		t.Errorf("exact stage fired %d of %d decisions: retiring the arming moved decisions off the exact stage", s.BoundedExact, int64(gateSpins))
@@ -154,5 +154,33 @@ func TestDualGateKeepsFiringTier(t *testing.T) {
 	if s.Dual != gateSpins || s.DualArmed != gateSpins {
 		t.Errorf("always-firing dual tier was throttled: %d aborts over %d armed, want %d over %d",
 			s.Dual, s.DualArmed, int64(gateSpins), int64(gateSpins))
+	}
+}
+
+// The warmup policy: the floor for small databases, pairs/256 once the pair
+// count dominates. These values are load-bearing — the bench reference runs
+// at n=400 and n=4000 discuss gate behavior in terms of them — so the policy
+// is pinned exactly.
+func TestGateWarmupPolicy(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{0, gateWarmupFloor},
+		{2, gateWarmupFloor},
+		{400, 4096},
+		{1449, 4097},            // first n past the floor ...
+		{1448, gateWarmupFloor}, // ... one below stays on it
+		{4000, 31242},
+		{40000, 3124921},
+	}
+	for _, c := range cases {
+		if got := gateWarmupFor(c.n); got != c.want {
+			t.Errorf("gateWarmupFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	star := Star(pairDB(t, graphSpec{labels: []graph.Label{1}}.build(t, 0), graphSpec{labels: []graph.Label{2}}.build(t, 1)))
+	if w := star.(*starMetric).gateWarmup; w != gateWarmupFloor {
+		t.Errorf("two-graph metric warmup = %d, want the floor %d", w, int64(gateWarmupFloor))
 	}
 }

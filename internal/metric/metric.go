@@ -35,10 +35,13 @@ func (f Func) Distance(a, b graph.ID) float64 { return f(a, b) }
 // index hands the per-shard filter embeddings to the metric, so far pairs
 // are pruned from the cached vectors before any star decomposition happens.
 func Star(db *graph.Database) Metric {
+	// sigs and embs start empty and grow to the accessed ID on demand (the
+	// same append-growth Insert relies on), so constructing the metric —
+	// which every engine open does — costs O(1) regardless of database
+	// size.
 	return &starMetric{
-		db:   db,
-		sigs: make([]*ged.StarSig, db.Len()),
-		embs: make([]*ged.Embedding, db.Len()),
+		db:         db,
+		gateWarmup: gateWarmupFor(db.Len()),
 	}
 }
 
@@ -50,6 +53,14 @@ type starMetric struct {
 	// primed from a persisted index. Both guarded by mu.
 	sigs []*ged.StarSig
 	embs []*ged.Embedding
+	// tabs lists encoded embedding tables primed from a mapped index; a
+	// filter vector not yet in embs is decoded from its covering table on
+	// first use and cached. Guarded by mu (the table contents themselves are
+	// immutable).
+	tabs []tableRange
+	// gateWarmup is the adaptive tier gates' warmup length, sized to the
+	// database at construction (see gateWarmupFor).
+	gateWarmup int64
 	// stages[s] counts bounded decisions terminating at cascade stage s;
 	// exactValues counts plain Distance computations (always a full solve).
 	// Together they form the PruneStats breakdown (see bounded.go).
@@ -116,8 +127,71 @@ func (m *starMetric) pairState(a, b graph.ID) (sa, sb *ged.StarSig, ea, eb *ged.
 	if int(b) < len(m.sigs) {
 		sb, eb = m.sigs[b], m.embs[b]
 	}
+	tabs := m.tabs
 	m.mu.RUnlock()
+	// Vectors primed as encoded tables decode on first use. The decoded value
+	// is identical to an eagerly primed one (the encoding round-trips), so
+	// cascade decisions and stage attribution do not depend on which priming
+	// path the engine used.
+	if len(tabs) > 0 {
+		if ea == nil {
+			ea = m.tableEmb(tabs, a)
+		}
+		if eb == nil {
+			eb = m.tableEmb(tabs, b)
+		}
+	}
 	return
+}
+
+// tableRange is one primed embedding table and the contiguous ID range it
+// covers (starting at base).
+type tableRange struct {
+	base graph.ID
+	tab  *ged.Table
+}
+
+// tableEmb decodes id's filter vector from its covering table, caching the
+// result in embs so the decode happens once. Returns nil when no table
+// covers id — without taking the write lock, so IDs outside every table
+// (e.g. freshly inserted graphs) cost only the coverage scan.
+func (m *starMetric) tableEmb(tabs []tableRange, id graph.ID) *ged.Embedding {
+	found := -1
+	for i, tr := range tabs {
+		if id >= tr.base && int(id-tr.base) < tr.tab.Len() {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) < len(m.embs) && m.embs[id] != nil {
+		return m.embs[id]
+	}
+	e := tabs[found].tab.At(int(id - tabs[found].base))
+	for len(m.embs) <= int(id) {
+		m.sigs = append(m.sigs, nil)
+		m.embs = append(m.embs, nil)
+	}
+	m.embs[id] = e
+	return e
+}
+
+// PrimeEmbeddingTable implements EmbeddingTablePrimer: adopt an encoded
+// per-shard embedding table covering the contiguous ID range starting at
+// base. Unlike PrimeEmbeddings nothing is decoded up front; vectors
+// materialize lazily as pairs are tested, which is what keeps opening a
+// mapped index O(1) in the database size.
+func (m *starMetric) PrimeEmbeddingTable(base graph.ID, tab *ged.Table) {
+	if tab == nil || tab.Len() == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tabs = append(m.tabs, tableRange{base: base, tab: tab})
 }
 
 // PrimeEmbeddings implements EmbeddingPrimer: adopt precomputed filter

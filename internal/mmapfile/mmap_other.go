@@ -1,0 +1,12 @@
+//go:build !linux && !darwin
+
+package mmapfile
+
+// platformOpen falls back to a heap read on platforms without the thin mmap
+// wrapper; callers observe the same File contract, just without page-cache
+// sharing (Mapped reports false).
+func platformOpen(path string) (*File, error) {
+	return OpenReadAll(path)
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,44 @@
+//go:build linux || darwin
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// platformOpen memory-maps path read-only. The file descriptor is closed
+// before returning — the mapping outlives it — so a File holds no fd, only
+// pages. Empty files map to an empty (unmapped) image, since mmap of length
+// zero is an error on both platforms.
+func platformOpen(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return &File{data: []byte{}}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapfile: %s: size %d overflows the address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapfile: mmap %s: %w", path, err)
+	}
+	return &File{data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error {
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("mmapfile: munmap: %w", err)
+	}
+	return nil
+}

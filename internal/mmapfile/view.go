@@ -1,0 +1,57 @@
+package mmapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// Scalar is the set of element types v4 index sections store: fixed-stride
+// little-endian numbers whose in-memory representation matches the on-disk
+// one on little-endian hosts.
+type Scalar interface {
+	~int32 | ~uint32 | ~int64 | ~uint64 | ~float64
+}
+
+// hostLittleEndian reports whether the running machine stores integers
+// little-endian — the v4 on-disk byte order. Determined once at startup.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// View reinterprets b as a []T of little-endian values. On little-endian
+// hosts with b suitably aligned this is zero-copy: the returned slice aliases
+// b and lives exactly as long as it, with cap == len so appends reallocate
+// instead of writing through. Misaligned input or a big-endian host gets a
+// decoded heap copy — same values, no aliasing. The only error is a length
+// that is not a multiple of the element size.
+func View[T Scalar](b []byte) ([]T, error) {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if len(b)%size != 0 {
+		return nil, fmt.Errorf("mmapfile: section of %d bytes is not a whole number of %d-byte elements", len(b), size)
+	}
+	n := len(b) / size
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%uintptr(size) == 0 {
+		s := unsafe.Slice((*T)(unsafe.Pointer(&b[0])), n)
+		return s[:n:n], nil
+	}
+	out := make([]T, n)
+	switch size {
+	case 4:
+		dst := unsafe.Slice((*uint32)(unsafe.Pointer(&out[0])), n)
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint32(b[i*4:])
+		}
+	case 8:
+		dst := unsafe.Slice((*uint64)(unsafe.Pointer(&out[0])), n)
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint64(b[i*8:])
+		}
+	}
+	return out, nil
+}

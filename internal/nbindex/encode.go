@@ -35,8 +35,8 @@ var indexMagic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '1'}
 
 // Encode persists the index in the v1 (single, full-database) layout. The
 // paper treats index construction as an offline step (Fig. 6(k));
-// persistence makes it a one-time one. Shard parts are persisted through
-// internal/shard's v2 container instead.
+// persistence makes it a one-time one. This legacy layout is kept loading;
+// current saves go through internal/shard's containers (v4 by default).
 func (ix *Index) Encode(w io.Writer) error {
 	if ix.base != 0 || ix.vo.Len() != ix.db.Len() {
 		return fmt.Errorf("nbindex: v1 encoding requires a full-database index, this one covers [%d, %d); use shard.Set.Encode",
@@ -54,7 +54,7 @@ func (ix *Index) Encode(w io.Writer) error {
 	if err := ix.vo.Encode(w); err != nil {
 		return err
 	}
-	return ix.tree.Encode(w)
+	return ix.Tree().Encode(w)
 }
 
 // Read loads an index written by Encode, reattaching it to the database
@@ -95,13 +95,13 @@ func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Index, error) {
 	if tree.Root().Size != db.Len() {
 		return nil, fmt.Errorf("nbindex: tree covers %d graphs, database has %d", tree.Root().Size, db.Len())
 	}
-	ix := &Index{db: db, m: m, vo: vo, tree: tree, grid: grid, leafOf: make([]int, db.Len())}
+	ix := &Index{db: db, m: m, vo: vo, flat: tree.Flatten(), tree: tree, grid: grid, leafOf: make([]int32, db.Len())}
 	for _, n := range tree.Nodes() {
 		if n.Leaf {
 			if int(n.Centroid) < 0 || int(n.Centroid) >= db.Len() {
 				return nil, fmt.Errorf("nbindex: leaf references graph %d outside database", n.Centroid)
 			}
-			ix.leafOf[n.Centroid] = n.Idx
+			ix.leafOf[n.Centroid] = int32(n.Idx)
 		}
 	}
 	// v1 files predate the filter embeddings; recompute them from the
@@ -114,13 +114,15 @@ func Read(r io.Reader, db *graph.Database, m metric.Metric) (*Index, error) {
 }
 
 // EncodePart persists only the index's vantage ordering and NB-Tree, with no
-// header — the per-shard section of internal/shard's v2 container, which
-// carries the magic, grid, and shard ranges itself.
+// header — the per-shard section of internal/shard's legacy v2/v3 gob
+// containers, which carry the magic, grid, and shard ranges themselves.
 func (ix *Index) EncodePart(w io.Writer) error {
 	if err := ix.vo.Encode(w); err != nil {
 		return err
 	}
-	return ix.tree.Encode(w)
+	// Tree() (rather than the tree field) so a view-backed index can still be
+	// written in the legacy layout: the pointer form is rebuilt on demand.
+	return ix.Tree().Encode(w)
 }
 
 // EncodeEmbeddings writes the per-shard filter-embedding section of the v3
@@ -129,6 +131,16 @@ func (ix *Index) EncodePart(w io.Writer) error {
 // Embeddings are a pure function of the graphs, so the section bytes are
 // independent of the metric and of whether the bounded kernel is enabled.
 func (ix *Index) EncodeEmbeddings(w io.Writer) error {
+	if ix.embTab != nil {
+		// View-backed index: the table blob is the records concatenated in ID
+		// order — exactly this section's layout — so it passes through
+		// without decoding.
+		if ix.embTab.Len() != ix.vo.Len() {
+			return fmt.Errorf("nbindex: %d embeddings for %d graphs", ix.embTab.Len(), ix.vo.Len())
+		}
+		_, err := w.Write(ix.embTab.Blob())
+		return err
+	}
 	if len(ix.embs) != ix.vo.Len() {
 		return fmt.Errorf("nbindex: %d embeddings for %d graphs", len(ix.embs), ix.vo.Len())
 	}
@@ -188,13 +200,13 @@ func ReadPart(r io.Reader, db *graph.Database, m metric.Metric, grid []float64, 
 	if tree.Root().Size != count {
 		return nil, fmt.Errorf("nbindex: shard tree covers %d graphs, header declares %d", tree.Root().Size, count)
 	}
-	ix := &Index{db: db, m: m, vo: vo, tree: tree, grid: append([]float64(nil), grid...), base: base, leafOf: make([]int, count)}
+	ix := &Index{db: db, m: m, vo: vo, flat: tree.Flatten(), tree: tree, grid: append([]float64(nil), grid...), base: base, leafOf: make([]int32, count)}
 	for _, n := range tree.Nodes() {
 		if n.Leaf {
 			if n.Centroid < base || int(n.Centroid-base) >= count {
 				return nil, fmt.Errorf("nbindex: leaf references graph %d outside shard [%d, %d)", n.Centroid, base, int(base)+count)
 			}
-			ix.leafOf[n.Centroid-base] = n.Idx
+			ix.leafOf[n.Centroid-base] = int32(n.Idx)
 		}
 	}
 	return ix, nil

@@ -78,23 +78,43 @@ func DefaultOptions(grid []float64) Options {
 // internal/shard coordinates several such parts). Build once per database;
 // relevance functions and θ are supplied at query time.
 type Index struct {
-	db   *graph.Database
-	m    metric.Metric
-	vo   *vantage.Ordering
+	db *graph.Database
+	m  metric.Metric
+	vo *vantage.Ordering
+	// flat is the NB-Tree in array form — the representation every query
+	// navigates, whether the index was built in memory or opened over a
+	// mapping. Always set.
+	flat *nbtree.Flat
+	// tree is the pointer form, present when the index was built (or thawed
+	// for mutation); nil for view-backed indexes until something needs it.
+	// Tree() materializes it on demand from flat.
 	tree *nbtree.Tree
 	grid []float64
 	// base is the first graph ID covered; 0 for a full-database index.
 	base graph.ID
 	// leafOf maps a covered graph ID (offset by base) to its leaf node index
-	// in tree.Nodes().
-	leafOf []int
+	// in the flat tree. May alias a mapped section; thaw copies it before
+	// any mutation.
+	leafOf []int32
 	// embs[i] is the filter embedding of graph base+i: the precomputed
 	// vector whose L1-style lower bound opens the bounded distance cascade.
 	// Embeddings are a pure function of the graphs — independent of the
 	// metric and of whether the bounded kernel is enabled — so index bytes
-	// stay identical either way. Persisted in the v3 container; recomputed
-	// on the v1/v2 compat load paths.
+	// stay identical either way. Persisted since the v3 container; recomputed
+	// on the v1/v2 compat load paths. View-backed indexes carry embTab
+	// instead and leave embs nil until thawed.
 	embs []*ged.Embedding
+	// embTab is the encoded embedding table of a view-backed index (nil for
+	// built indexes): the same vectors as embs, decoded on demand by the
+	// metric instead of eagerly at load.
+	embTab *ged.Table
+	// deferredCheck is the content validation a deferred construction
+	// (PartFromViewsDeferred) postponed; EnsureValid runs it exactly once
+	// before the first navigation and caches the verdict in checkErr. Nil
+	// for eagerly-validated indexes.
+	deferredCheck func() error
+	checkOnce     sync.Once
+	checkErr      error
 	// workers bounds session-initialization goroutines; ≤ 0 means GOMAXPROCS.
 	workers int
 	// timing records the wall time of each construction phase.
@@ -200,6 +220,7 @@ func BuildPartContext(ctx context.Context, db *graph.Database, m metric.Metric, 
 		db:      db,
 		m:       m,
 		vo:      vo,
+		flat:    tree.Flatten(),
 		tree:    tree,
 		grid:    append([]float64(nil), grid...),
 		base:    base,
@@ -209,11 +230,11 @@ func BuildPartContext(ctx context.Context, db *graph.Database, m metric.Metric, 
 			Tree:    done.Sub(tVO),
 			Total:   done.Sub(start),
 		},
-		leafOf: func() []int {
-			l := make([]int, count)
+		leafOf: func() []int32 {
+			l := make([]int32, count)
 			for _, n := range tree.Nodes() {
 				if n.Leaf {
-					l[n.Centroid-base] = n.Idx
+					l[n.Centroid-base] = int32(n.Idx)
 				}
 			}
 			return l
@@ -245,8 +266,134 @@ func (ix *Index) computeEmbeddings(ctx context.Context, workers int) error {
 // Embeddings returns the per-graph filter embeddings, indexed by covered
 // graph ID minus Base(). The engine hands them to the metric
 // (metric.EmbeddingPrimer) so threshold tests on far pairs resolve from the
-// cached vectors without materializing star signatures.
+// cached vectors without materializing star signatures. Nil for view-backed
+// indexes, which carry EmbeddingTable instead.
 func (ix *Index) Embeddings() []*ged.Embedding { return ix.embs }
+
+// PartFromViews assembles an index part from persisted components — typically
+// zero-copy views over one shard's v4 sections: the vantage ordering (see
+// vantage.FromViews), the flat NB-Tree (see nbtree.NewFlat), the leaf map,
+// and the encoded embedding table. Beyond what the component constructors
+// already guarantee, it validates the cross-component invariants queries
+// lean on: the tree covers exactly the ordering's range (root size, every
+// centroid in range), the leaf map is a bijection between covered graphs and
+// leaves, and the embedding table matches the database graph for graph
+// (record count and per-record star count). The components are retained, not
+// copied; grid is copied. It is PartFromViewsDeferred followed immediately
+// by EnsureValid.
+func PartFromViews(db *graph.Database, m metric.Metric, vo *vantage.Ordering, flat *nbtree.Flat, grid []float64, leafOf []int32, embTab *ged.Table, workers int) (*Index, error) {
+	ix, err := PartFromViewsDeferred(db, m, vo, flat, grid, leafOf, embTab, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.EnsureValid(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// PartFromViewsDeferred is PartFromViews minus the O(count) content scans:
+// the shape invariants (grid ascending, range within the database, root
+// size, claimed leaf count, array lengths) are checked now, in O(grid), and
+// the content scans — the components' own deferred Validates plus the
+// cross-component loops — run once on first use, via EnsureValid. Sessions
+// and Insert call EnsureValid themselves, so a part whose content never
+// validated cannot be navigated; this is what keeps a mapped open's cost
+// independent of index size.
+func PartFromViewsDeferred(db *graph.Database, m metric.Metric, vo *vantage.Ordering, flat *nbtree.Flat, grid []float64, leafOf []int32, embTab *ged.Table, workers int) (*Index, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("nbindex: empty theta grid")
+	}
+	if !sort.Float64sAreSorted(grid) {
+		return nil, fmt.Errorf("nbindex: theta grid not ascending")
+	}
+	base, count := vo.Base(), vo.Len()
+	if int(base)+count > db.Len() {
+		return nil, fmt.Errorf("nbindex: part covers [%d, %d), database has %d graphs", base, int(base)+count, db.Len())
+	}
+	if rootSize := int(flat.Sizes[0]); rootSize != count {
+		return nil, fmt.Errorf("nbindex: tree covers %d graphs, ordering covers %d", rootSize, count)
+	}
+	if flat.Stats().Leaves != count {
+		return nil, fmt.Errorf("nbindex: tree has %d leaves, ordering covers %d graphs", flat.Stats().Leaves, count)
+	}
+	if len(leafOf) != count {
+		return nil, fmt.Errorf("nbindex: leaf map of %d entries, ordering covers %d graphs", len(leafOf), count)
+	}
+	if embTab == nil {
+		return nil, fmt.Errorf("nbindex: part has no embedding table")
+	}
+	if embTab.Len() != count {
+		return nil, fmt.Errorf("nbindex: embedding table of %d records, ordering covers %d graphs", embTab.Len(), count)
+	}
+	ix := &Index{
+		db:      db,
+		m:       m,
+		vo:      vo,
+		flat:    flat,
+		grid:    append([]float64(nil), grid...),
+		base:    base,
+		leafOf:  leafOf,
+		embTab:  embTab,
+		workers: workers,
+	}
+	ix.deferredCheck = ix.validateViews
+	return ix, nil
+}
+
+// validateViews is the deferred content scan of a view-backed part: the
+// component Validates plus the cross-component loops PartFromViews
+// documents. Runs once, via EnsureValid.
+func (ix *Index) validateViews() error {
+	if err := ix.vo.Validate(); err != nil {
+		return err
+	}
+	if err := ix.flat.Validate(); err != nil {
+		return err
+	}
+	if err := ix.embTab.Validate(); err != nil {
+		return err
+	}
+	base, count, flat := ix.base, ix.vo.Len(), ix.flat
+	for i, c := range flat.Centroids {
+		if c < base || int(c-base) >= count {
+			return fmt.Errorf("nbindex: node %d centroid %d outside covered range [%d, %d)", i, c, base, int(base)+count)
+		}
+	}
+	for i, l := range ix.leafOf {
+		if l < 0 || int(l) >= flat.Len() {
+			return fmt.Errorf("nbindex: leaf map entry %d is node %d, tree has %d nodes", i, l, flat.Len())
+		}
+		if !flat.Leaf(l) {
+			return fmt.Errorf("nbindex: leaf map entry %d points at non-leaf node %d", i, l)
+		}
+		if flat.Centroids[l] != base+graph.ID(i) {
+			return fmt.Errorf("nbindex: leaf map entry %d points at node %d holding graph %d", i, l, flat.Centroids[l])
+		}
+	}
+	for i := 0; i < count; i++ {
+		if order := ix.db.Graph(base + graph.ID(i)).Order(); ix.embTab.Stars(i) != order {
+			return fmt.Errorf("nbindex: embedding %d has %d stars, graph %d has %d vertices",
+				i, ix.embTab.Stars(i), int(base)+i, order)
+		}
+	}
+	return nil
+}
+
+// EnsureValid runs a deferred content validation (PartFromViewsDeferred)
+// exactly once and returns its verdict — nil for indexes built in memory or
+// loaded through eagerly-validating paths. Safe for concurrent callers;
+// sessions and Insert call it before the first navigation, so corrupt
+// content surfaces as an error there rather than as a fault mid-query.
+func (ix *Index) EnsureValid() error {
+	ix.checkOnce.Do(func() {
+		if ix.deferredCheck != nil {
+			ix.checkErr = ix.deferredCheck()
+			ix.deferredCheck = nil
+		}
+	})
+	return ix.checkErr
+}
 
 // Timing returns the wall time each construction phase took. Zero for
 // indexes loaded with Read (no construction happened).
@@ -263,12 +410,16 @@ func (ix *Index) SetWorkers(w int) { ix.workers = w }
 // do not see the new graph; create a fresh Session afterwards. Not safe
 // concurrently with queries.
 func (ix *Index) Insert(id graph.ID) error {
+	if err := ix.EnsureValid(); err != nil {
+		return err
+	}
 	if int(id) != ix.db.Len()-1 {
 		return fmt.Errorf("nbindex: inserting id %d, want the database's last id %d", id, ix.db.Len()-1)
 	}
 	if int(id-ix.base) != ix.vo.Len() {
 		return fmt.Errorf("nbindex: inserting id %d, index covers [%d, %d)", id, ix.base, int(ix.base)+ix.vo.Len())
 	}
+	ix.thaw()
 	if err := ix.vo.Insert(id, ix.m); err != nil {
 		return err
 	}
@@ -276,18 +427,56 @@ func (ix *Index) Insert(id graph.ID) error {
 	ix.embs = append(ix.embs, ged.NewEmbedding(ix.db.Graph(id)))
 	// Rebuild the leaf map: inserting into a singleton tree restructures
 	// node indexes, so a full O(nodes) rebuild is the safe (and still
-	// cheap) choice.
+	// cheap) choice. The flat form queries navigate is re-derived last, so
+	// it always reflects the mutated tree.
 	ix.leafOf = append(ix.leafOf, 0)
 	for _, n := range ix.tree.Nodes() {
 		if n.Leaf {
-			ix.leafOf[n.Centroid-ix.base] = n.Idx
+			ix.leafOf[n.Centroid-ix.base] = int32(n.Idx)
 		}
 	}
+	ix.flat = ix.tree.Flatten()
 	return nil
 }
 
-// Tree exposes the underlying NB-Tree (read-only).
-func (ix *Index) Tree() *nbtree.Tree { return ix.tree }
+// thaw moves a view-backed index fully onto the heap so it can be mutated:
+// the pointer tree is rebuilt from the flat form, the leaf map is copied out
+// of the mapping (its elements are overwritten in place on insert), and the
+// encoded embedding table is decoded into the eager slice. Built indexes are
+// already heap-resident, so thaw is a no-op for them. Vantage rows need no
+// thaw: views are handed out with cap == len, so the ordering's sorted
+// insertions reallocate on first append.
+func (ix *Index) thaw() {
+	if ix.tree == nil {
+		ix.tree = ix.flat.Rebuild()
+	}
+	if ix.embTab != nil {
+		if ix.embs == nil {
+			embs := make([]*ged.Embedding, ix.embTab.Len())
+			for i := range embs {
+				embs[i] = ix.embTab.At(i)
+			}
+			ix.embs = embs
+		}
+		ix.embTab = nil
+	}
+	ix.leafOf = append([]int32(nil), ix.leafOf...)
+}
+
+// Tree exposes the underlying NB-Tree in pointer form, materializing it from
+// the flat representation if the index was opened over a mapping. Queries
+// never call this — they navigate Flat — so view-backed indexes pay the
+// rebuild only when something genuinely needs pointer nodes (legacy encoders,
+// inspection, tests). Not safe concurrently with itself or with Insert.
+func (ix *Index) Tree() *nbtree.Tree {
+	if ix.tree == nil {
+		ix.tree = ix.flat.Rebuild()
+	}
+	return ix.tree
+}
+
+// Flat exposes the array form of the NB-Tree every query navigates.
+func (ix *Index) Flat() *nbtree.Flat { return ix.flat }
 
 // VO exposes the vantage orderings (read-only).
 func (ix *Index) VO() *vantage.Ordering { return ix.vo }
@@ -302,12 +491,24 @@ func (ix *Index) Base() graph.ID { return ix.base }
 func (ix *Index) Count() int { return ix.vo.Len() }
 
 // LeafIdx returns the tree node index of the leaf holding covered graph id.
-func (ix *Index) LeafIdx(id graph.ID) int { return ix.leafOf[id-ix.base] }
+func (ix *Index) LeafIdx(id graph.ID) int { return int(ix.leafOf[id-ix.base]) }
+
+// LeafOf returns the leaf map: covered graph ID minus Base() to flat node
+// index. Read-only; the persistence writer serializes it directly.
+func (ix *Index) LeafOf() []int32 { return ix.leafOf }
+
+// EmbeddingTable returns the encoded embedding table of a view-backed index,
+// or nil when the embeddings live decoded on the heap (see Embeddings).
+func (ix *Index) EmbeddingTable() *ged.Table { return ix.embTab }
 
 // Bytes approximates the index memory footprint: vantage orderings, the
-// NB-Tree (Fig. 6(l)), and the filter embeddings.
+// NB-Tree (Fig. 6(l)), and the filter embeddings — encoded table or decoded
+// vectors, whichever form this index carries.
 func (ix *Index) Bytes() int64 {
-	b := ix.vo.Bytes() + ix.tree.Bytes()
+	b := ix.vo.Bytes() + ix.flat.Bytes()
+	if ix.embTab != nil {
+		return b + ix.embTab.Bytes()
+	}
 	for _, e := range ix.embs {
 		b += e.Bytes()
 	}
@@ -399,6 +600,9 @@ func (ix *Index) NewSessionAt(q core.Relevance, theta float64) *Session {
 }
 
 func (ix *Index) newSession(ctx context.Context, q core.Relevance, grid []float64) (*Session, error) {
+	if err := ix.EnsureValid(); err != nil {
+		return nil, err
+	}
 	if ix.base != 0 || ix.vo.Len() != ix.db.Len() {
 		return nil, fmt.Errorf("nbindex: sessions require a full-database index, this one covers [%d, %d); use internal/shard's coordinator for parts",
 			ix.base, int(ix.base)+ix.vo.Len())
@@ -412,18 +616,17 @@ func (ix *Index) newSession(ctx context.Context, q core.Relevance, grid []float6
 	for i, id := range s.rel {
 		s.relPos[id] = i
 	}
-	nodes := ix.tree.Nodes()
-	s.relCount = make([]int, len(nodes))
-	for i := len(nodes) - 1; i >= 0; i-- {
-		n := nodes[i]
-		if n.Leaf {
-			if s.relPos[n.Centroid] >= 0 {
+	f := ix.flat
+	s.relCount = make([]int, f.Len())
+	for i := f.Len() - 1; i >= 0; i-- {
+		if f.Leaves[i] == 1 {
+			if s.relPos[f.Centroids[i]] >= 0 {
 				s.relCount[i] = 1
 			}
 			continue
 		}
-		for _, c := range n.Children {
-			s.relCount[i] += s.relCount[c.Idx]
+		for c := f.FirstChild[i]; c != -1; c = f.NextSibling[c] {
+			s.relCount[i] += s.relCount[c]
 		}
 	}
 	// π̂-vectors: one vantage scan per relevant graph at the largest indexed
@@ -431,7 +634,7 @@ func (ix *Index) newSession(ctx context.Context, q core.Relevance, grid []float6
 	// grid slot it belongs to. Rows are independent and each lands in its own
 	// piHat slot, so the scans run on the worker pool without affecting the
 	// result.
-	s.piHat = make([][]int32, len(nodes))
+	s.piHat = make([][]int32, f.Len())
 	if len(grid) > 0 && len(s.rel) > 0 {
 		thetaMax := grid[len(grid)-1]
 		isRel := func(id graph.ID) bool { return s.relPos[id] >= 0 }
@@ -503,7 +706,7 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 		return nil, err
 	}
 	ix := s.ix
-	nodes := ix.tree.Nodes()
+	f := ix.flat
 	res := &core.Result{Relevant: len(s.rel)}
 	// Work stats accumulate in a local so concurrent TopK calls never share
 	// mutable state; the final store publishes them for LastStats and folds
@@ -534,33 +737,32 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 		return row[slot]
 	}
 	// sub[nodeIdx]: permanent per-subtree gain subtraction (credits).
-	sub := make([]int32, len(nodes))
+	sub := make([]int32, f.Len())
 	// F[nodeIdx] = max over relevant leaves l under the node of
 	// (π̂init(l) − Σ sub on the path l..node); −1 where no relevant leaf.
-	F := make([]int32, len(nodes))
-	for i := len(nodes) - 1; i >= 0; i-- {
-		n := nodes[i]
-		if n.Leaf {
+	F := make([]int32, f.Len())
+	for i := f.Len() - 1; i >= 0; i-- {
+		if f.Leaves[i] == 1 {
 			F[i] = leafBound(i)
 			continue
 		}
 		best := int32(-1)
-		for _, c := range n.Children {
-			if F[c.Idx] > best {
-				best = F[c.Idx]
+		for c := f.FirstChild[i]; c != -1; c = f.NextSibling[c] {
+			if F[c] > best {
+				best = F[c]
 			}
 		}
 		F[i] = best
 	}
 	// subAbove sums the credits strictly above a node.
-	subAbove := func(n *nbtree.Node) int32 {
+	subAbove := func(n int32) int32 {
 		var t int32
-		for p := n.Parent; p != nil; p = p.Parent {
-			t += sub[p.Idx]
+		for p := f.Parents[n]; p != -1; p = f.Parents[p] {
+			t += sub[p]
 		}
 		return t
 	}
-	currentBound := func(n *nbtree.Node) int32 { return F[n.Idx] - subAbove(n) }
+	currentBound := func(n int32) int32 { return F[n] - subAbove(n) }
 
 	covered := bitset.New(len(s.rel))
 	inAnswer := make([]bool, len(s.rel))
@@ -572,30 +774,29 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 	// applyCredit records that relevant graph id became covered: one credit
 	// at its highest diameter ≤ θ ancestor, with F recomputed upward.
 	applyCredit := func(id graph.ID) {
-		leaf := nodes[ix.LeafIdx(id)]
-		a := leaf
-		for p := a.Parent; p != nil && p.Diameter <= theta; p = p.Parent {
+		a := ix.leafOf[id-ix.base]
+		for p := f.Parents[a]; p != -1 && f.Diameters[p] <= theta; p = f.Parents[p] {
 			a = p
 		}
-		sub[a.Idx]++
+		sub[a]++
 		// Recompute F from a to the root.
-		for n := a; n != nil; n = n.Parent {
+		for n := a; n != -1; n = f.Parents[n] {
 			var best int32
-			if n.Leaf {
-				best = leafBound(n.Idx)
+			if f.Leaves[n] == 1 {
+				best = leafBound(int(n))
 			} else {
 				best = -1
-				for _, c := range n.Children {
-					if F[c.Idx] > best {
-						best = F[c.Idx]
+				for c := f.FirstChild[n]; c != -1; c = f.NextSibling[c] {
+					if F[c] > best {
+						best = F[c]
 					}
 				}
 			}
-			nf := best - sub[n.Idx]
-			if nf == F[n.Idx] && n != a {
+			nf := best - sub[n]
+			if nf == F[n] && n != a {
 				break // no change propagates further
 			}
-			F[n.Idx] = nf
+			F[n] = nf
 		}
 	}
 
@@ -606,9 +807,8 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 		best, bestGain := graph.ID(-1), int32(0)
 		var bestNbrs []int // relevant positions newly covered by best
 		pq := &entryHeap{}
-		root := ix.tree.Root()
-		if b := currentBound(root); b > 0 {
-			pq.push(entry{bound: b, node: root})
+		if b := currentBound(0); b > 0 {
+			pq.push(entry{bound: b, node: 0})
 		}
 		for len(*pq) > 0 {
 			e := pq.pop()
@@ -636,18 +836,19 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 				}
 				continue
 			}
-			if e.node.Leaf {
-				p := s.relPos[e.node.Centroid]
+			if f.Leaves[e.node] == 1 {
+				cent := f.Centroids[e.node]
+				p := s.relPos[cent]
 				if p < 0 || inAnswer[p] {
 					continue
 				}
-				gain, nbrs := s.verify(e.node.Centroid, theta, includeUncovered, &st)
-				if gain > bestGain || (gain == bestGain && gain > 0 && e.node.Centroid < best) {
-					best, bestGain, bestNbrs = e.node.Centroid, gain, nbrs
+				gain, nbrs := s.verify(cent, theta, includeUncovered, &st)
+				if gain > bestGain || (gain == bestGain && gain > 0 && cent < best) {
+					best, bestGain, bestNbrs = cent, gain, nbrs
 				}
 				continue
 			}
-			for _, c := range e.node.Children {
+			for c := f.FirstChild[e.node]; c != -1; c = f.NextSibling[c] {
 				if b := currentBound(c); b > 0 && b >= bestGain {
 					pq.push(entry{bound: b, node: c})
 				}
@@ -702,15 +903,15 @@ func (s *Session) verify(g graph.ID, theta float64, include func(graph.ID) bool,
 	return int32(len(nbrs)), nbrs
 }
 
-// entry is a PQ element: an NB-Tree node with its gain upper bound.
+// entry is a PQ element: a flat NB-Tree node index with its gain upper bound.
 type entry struct {
 	bound int32
-	node  *nbtree.Node
+	node  int32
 }
 
 // entryHeap is a typed max-heap on bound, ties toward lower node index for
 // determinism. Entries are stored by value in one slice — no container/heap,
-// no interface boxing, no per-push allocation. (bound, node.Idx) keys are
+// no interface boxing, no per-push allocation. (bound, node) keys are
 // unique at any instant — a node is re-pushed only after its stale entry is
 // popped — so the pop order is a strict total order independent of the heap
 // implementation.
@@ -720,7 +921,7 @@ func (h entryHeap) less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound > h[j].bound
 	}
-	return h[i].node.Idx < h[j].node.Idx
+	return h[i].node < h[j].node
 }
 
 // push inserts e and sifts it up.
@@ -743,7 +944,6 @@ func (h *entryHeap) pop() entry {
 	top := a[0]
 	n := len(a) - 1
 	a[0] = a[n]
-	a[n] = entry{} // release the node pointer
 	a = a[:n]
 	*h = a
 	for i := 0; ; {

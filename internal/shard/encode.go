@@ -13,25 +13,37 @@ import (
 	"graphrep/internal/nbindex"
 )
 
-// Serialization layout, format v3 (sharded + embeddings): the magic, the
-// shared θ grid, the shard count, then one section per shard — its declared
-// [base, base+count) range, the vantage ordering and NB-Tree snapshots, and
-// the shard's filter-embedding vectors. Two older layouts are still
-// accepted: v2 files (NBIDX002, sharded but without embedding sections) and
-// v1 files (NBIDX001, the pre-shard single-index layout, loaded as one
-// shard). Both compat paths recompute the embeddings from the database —
-// they are a pure function of the graphs — so a pre-embedding file answers
-// queries identically to a fresh v3 save.
+// Legacy serialization layouts. The current format is v4 (NBIDX004, the
+// zero-copy flat container — see v4.go); this file keeps the three gob
+// generations loading and the v3 writer available for interop. v3 files
+// (NBIDX003, sharded + embeddings) carry the magic, the shared θ grid, the
+// shard count, then one section per shard — its declared [base, base+count)
+// range, the vantage ordering and NB-Tree snapshots, and the shard's
+// filter-embedding vectors. v2 files (NBIDX002) are sharded but lack the
+// embedding sections; v1 files (NBIDX001, the pre-shard single-index
+// layout) load as one shard. Both pre-embedding compat paths recompute the
+// embeddings from the database — they are a pure function of the graphs —
+// so every generation answers queries identically to a fresh save.
 
 var setMagic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '3'}
 var v2Magic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '2'}
 var v1Magic = [8]byte{'N', 'B', 'I', 'D', 'X', '0', '0', '1'}
 
-// Encode persists the set in the v3 sharded layout. Output bytes are a pure
-// function of the set's contents — shard sections are written in shard
-// order, and embeddings depend only on the graphs — so they are identical
-// for any build worker count and for either bounded-kernel setting.
+// Encode persists the set in the current default layout — v4, the zero-copy
+// container (see v4.go). Like every writer here, output bytes are a pure
+// function of the set's contents, identical for any build worker count and
+// for either bounded-kernel setting.
 func (s *Set) Encode(w io.Writer) error {
+	return s.EncodeV4(w)
+}
+
+// EncodeV3 persists the set in the legacy v3 sharded gob layout. Output
+// bytes are a pure function of the set's contents — shard sections are
+// written in shard order, and embeddings depend only on the graphs — so they
+// are identical for any build worker count and for either bounded-kernel
+// setting. Kept (alongside the v1/v2/v3 readers) so older tooling can still
+// consume new indexes; new saves should use Encode.
+func (s *Set) EncodeV3(w io.Writer) error {
 	if _, err := w.Write(setMagic[:]); err != nil {
 		return err
 	}
@@ -82,6 +94,17 @@ func ReadContext(ctx context.Context, r io.Reader, db *graph.Database, m metric.
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("shard: read header: %w", err)
+	}
+	if magic == v4Magic {
+		// v4 is an offset-tabled byte layout, not a stream: slurp the rest
+		// and parse in place. Callers with a mapping (or the whole file
+		// already in memory) should use ReadBytesContext directly and skip
+		// this copy.
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("shard: read v4 body: %w", err)
+		}
+		return ReadBytesContext(ctx, append(magic[:], rest...), db, m)
 	}
 	if magic == v1Magic {
 		// v1: a single full-database index. nbindex.Read expects the magic

@@ -67,6 +67,14 @@ type coordSession struct {
 }
 
 func newCoordSession(ctx context.Context, set *Set, q core.Relevance) (*coordSession, error) {
+	// Parts loaded from a mapped v4 container defer their content
+	// validation to first use; settle it for every shard before any
+	// navigation below. Repeat sessions hit the cached verdict.
+	for p, part := range set.parts {
+		if err := part.EnsureValid(); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", p, err)
+		}
+	}
 	s := &coordSession{set: set, grid: set.grid}
 	s.rel = core.Relevant(set.db, q)
 	s.relPos = make([]int, set.db.Len())
@@ -78,7 +86,7 @@ func newCoordSession(ctx context.Context, set *Set, q core.Relevance) (*coordSes
 	}
 	s.piHat = make([][][]int32, len(set.parts))
 	for p, part := range set.parts {
-		s.piHat[p] = make([][]int32, len(part.Tree().Nodes()))
+		s.piHat[p] = make([][]int32, part.Flat().Len())
 	}
 	// Global π̂ rows: one coordinate row per relevant graph, scanned against
 	// every shard. Each shard scan covers a disjoint ID range, so the summed
@@ -192,37 +200,36 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 		}
 		return row[slot]
 	}
-	nodesOf := make([][]*nbtree.Node, len(parts))
+	flats := make([]*nbtree.Flat, len(parts))
 	sub := make([][]int32, len(parts))
 	F := make([][]int32, len(parts))
 	for p, part := range parts {
-		nodes := part.Tree().Nodes()
-		nodesOf[p] = nodes
-		sub[p] = make([]int32, len(nodes))
-		F[p] = make([]int32, len(nodes))
-		for i := len(nodes) - 1; i >= 0; i-- {
-			n := nodes[i]
-			if n.Leaf {
-				F[p][i] = leafBound(p, i)
+		f := part.Flat()
+		flats[p] = f
+		sub[p] = make([]int32, f.Len())
+		F[p] = make([]int32, f.Len())
+		for i := int32(f.Len() - 1); i >= 0; i-- {
+			if f.Leaf(i) {
+				F[p][i] = leafBound(p, int(i))
 				continue
 			}
 			best := int32(-1)
-			for _, c := range n.Children {
-				if F[p][c.Idx] > best {
-					best = F[p][c.Idx]
+			for c := f.FirstChild[i]; c != -1; c = f.NextSibling[c] {
+				if F[p][c] > best {
+					best = F[p][c]
 				}
 			}
 			F[p][i] = best
 		}
 	}
-	subAbove := func(p int, n *nbtree.Node) int32 {
+	subAbove := func(p int, n int32) int32 {
 		var t int32
-		for q := n.Parent; q != nil; q = q.Parent {
-			t += sub[p][q.Idx]
+		for q := flats[p].Parents[n]; q != -1; q = flats[p].Parents[q] {
+			t += sub[p][q]
 		}
 		return t
 	}
-	currentBound := func(p int, n *nbtree.Node) int32 { return F[p][n.Idx] - subAbove(p, n) }
+	currentBound := func(p int, n int32) int32 { return F[p][n] - subAbove(p, n) }
 
 	covered := bitset.New(len(s.rel))
 	inAnswer := make([]bool, len(s.rel))
@@ -237,28 +244,29 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 	// is sound).
 	applyCredit := func(id graph.ID) {
 		p := s.set.PartFor(id)
-		a := nodesOf[p][parts[p].LeafIdx(id)]
-		for q := a.Parent; q != nil && q.Diameter <= theta; q = q.Parent {
+		f := flats[p]
+		a := int32(parts[p].LeafIdx(id))
+		for q := f.Parents[a]; q != -1 && f.Diameters[q] <= theta; q = f.Parents[q] {
 			a = q
 		}
-		sub[p][a.Idx]++
-		for n := a; n != nil; n = n.Parent {
+		sub[p][a]++
+		for n := a; n != -1; n = f.Parents[n] {
 			var best int32
-			if n.Leaf {
-				best = leafBound(p, n.Idx)
+			if f.Leaf(n) {
+				best = leafBound(p, int(n))
 			} else {
 				best = -1
-				for _, c := range n.Children {
-					if F[p][c.Idx] > best {
-						best = F[p][c.Idx]
+				for c := f.FirstChild[n]; c != -1; c = f.NextSibling[c] {
+					if F[p][c] > best {
+						best = F[p][c]
 					}
 				}
 			}
-			nf := best - sub[p][n.Idx]
-			if nf == F[p][n.Idx] && n != a {
+			nf := best - sub[p][n]
+			if nf == F[p][n] && n != a {
 				break // no change propagates further
 			}
-			F[p][n.Idx] = nf
+			F[p][n] = nf
 		}
 	}
 
@@ -270,9 +278,8 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 		var bestNbrs []int // relevant positions newly covered by best
 		pq := &coordHeap{}
 		for p := range parts {
-			root := parts[p].Tree().Root()
-			if b := currentBound(p, root); b > 0 {
-				pq.push(coordEntry{bound: b, part: p, node: root})
+			if b := currentBound(p, 0); b > 0 {
+				pq.push(coordEntry{bound: b, part: p, node: 0})
 			}
 		}
 		for len(*pq) > 0 {
@@ -297,18 +304,20 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 				}
 				continue
 			}
-			if e.node.Leaf {
-				pos := s.relPos[e.node.Centroid]
+			f := flats[e.part]
+			if f.Leaf(e.node) {
+				cent := f.Centroids[e.node]
+				pos := s.relPos[cent]
 				if pos < 0 || inAnswer[pos] {
 					continue
 				}
-				gain, nbrs := s.verify(e.node.Centroid, theta, includeUncovered, &st)
-				if gain > bestGain || (gain == bestGain && gain > 0 && e.node.Centroid < best) {
-					best, bestGain, bestNbrs = e.node.Centroid, gain, nbrs
+				gain, nbrs := s.verify(cent, theta, includeUncovered, &st)
+				if gain > bestGain || (gain == bestGain && gain > 0 && cent < best) {
+					best, bestGain, bestNbrs = cent, gain, nbrs
 				}
 				continue
 			}
-			for _, c := range e.node.Children {
+			for c := f.FirstChild[e.node]; c != -1; c = f.NextSibling[c] {
 				if b := currentBound(e.part, c); b > 0 && b >= bestGain {
 					pq.push(coordEntry{bound: b, part: e.part, node: c})
 				}
@@ -403,19 +412,19 @@ func (s *coordSession) SweepThetaContext(ctx context.Context, k int, extra ...fl
 	return points, nil
 }
 
-// coordEntry is a PQ element: one shard tree's node with its gain upper
-// bound.
+// coordEntry is a PQ element: one shard tree's node (flat index) with its
+// gain upper bound.
 type coordEntry struct {
 	bound int32
 	part  int
-	node  *nbtree.Node
+	node  int32
 }
 
 // coordHeap is a typed max-heap on bound; ties order by (shard, node index)
 // so the search trace is deterministic for any worker count. Entries are
 // stored by value — no container/heap, no interface boxing, no per-push
-// allocation. (bound, part, node.Idx) keys are unique at any instant (a node
-// is re-pushed only after its stale entry is popped), so the pop order is a
+// allocation. (bound, part, node) keys are unique at any instant (a node is
+// re-pushed only after its stale entry is popped), so the pop order is a
 // strict total order independent of the heap implementation.
 type coordHeap []coordEntry
 
@@ -426,7 +435,7 @@ func (h coordHeap) less(i, j int) bool {
 	if h[i].part != h[j].part {
 		return h[i].part < h[j].part
 	}
-	return h[i].node.Idx < h[j].node.Idx
+	return h[i].node < h[j].node
 }
 
 // push inserts e and sifts it up.
@@ -449,7 +458,6 @@ func (h *coordHeap) pop() coordEntry {
 	top := a[0]
 	n := len(a) - 1
 	a[0] = a[n]
-	a[n] = coordEntry{} // release the node pointer
 	a = a[:n]
 	*h = a
 	for i := 0; ; {

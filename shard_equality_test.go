@@ -306,7 +306,7 @@ func TestV1IndexGolden(t *testing.T) {
 	}
 	gotAnswers, _, _ = collectAnswers(t, upgraded, 5)
 	if !reflect.DeepEqual(gotAnswers, wantAnswers) {
-		t.Error("upgraded (v1→v3) index answers differ")
+		t.Error("upgraded (v1→current) index answers differ")
 	}
 }
 
@@ -315,9 +315,9 @@ func TestV1IndexGolden(t *testing.T) {
 // tier, over dud n=120 seed=7 with two shards — and checks the compat path:
 // it loads with its shard layout intact, the embeddings are recomputed from
 // the database, answers match a fresh build exactly, and a re-save upgrades
-// to bytes identical to a fresh v3 save (embeddings are a pure function of
-// the graphs, so the recomputed vectors equal the ones a fresh build
-// persists).
+// to bytes identical to a fresh save in the current format (embeddings are
+// a pure function of the graphs, so the recomputed vectors equal the ones a
+// fresh build persists).
 func TestV2IndexGolden(t *testing.T) {
 	blob, err := os.ReadFile(filepath.Join("testdata", "index_v2_dud120_seed7.nbx"))
 	if err != nil {
@@ -354,7 +354,7 @@ func TestV2IndexGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(upgraded.Bytes(), freshSave.Bytes()) {
-		t.Error("upgraded (v2→v3) index bytes differ from a fresh v3 save")
+		t.Error("upgraded (v2→current) index bytes differ from a fresh save")
 	}
 }
 
