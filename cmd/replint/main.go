@@ -1,25 +1,34 @@
 // Command replint is the repo's invariant linter: a multichecker over the
-// internal/analysis suite (detrand, lockguard, ctxflow, metricname,
-// unsafeconfine). It runs
-// two ways:
+// internal/analysis suite (ctxflow, detrand, goroctx, lockguard,
+// metricname, oncevalid, unsafeconfine, viewmut). It runs two ways:
 //
 // Standalone, against the module in the current directory:
 //
 //	replint ./...
 //	replint ./internal/nbindex ./internal/server
 //	replint -list
+//	replint -json ./...
 //	replint -detrand=false ./...
 //
+// Standalone runs execute packages in import order with a shared fact
+// store, so cross-package facts (viewmut's taint, goroctx's CancelAware,
+// oncevalid's annotations) flow from dependencies even when only a subset
+// of packages is requested.
+//
 // As a go vet tool, speaking vet's unitchecker .cfg protocol (version
-// handshake via -V=full, one JSON config file per package):
+// handshake via -V=full, one JSON config file per package). Facts are gob-
+// serialized to each package's .vetx file and read back from the
+// dependencies' files the driver lists:
 //
 //	go build -o bin/replint ./cmd/replint
 //	go vet -vettool=$PWD/bin/replint ./...
 //
-// Diagnostics print as file:line:col: message [analyzer]. Standalone mode
-// exits 1 when anything is reported; vettool mode exits 2, matching
-// x/tools' unitchecker so go vet fails the build. Individual findings are
-// silenced at the source line with `//lint:allow <analyzer> <reason>`.
+// Diagnostics print as file:line:col: message [analyzer] (or as one JSON
+// object per line under -json). Standalone mode exits 1 when anything is
+// reported; vettool mode exits 2, matching x/tools' unitchecker so go vet
+// fails the build. Individual findings are silenced at the source line with
+// `//lint:allow <analyzer> <reason>`; a directive that suppresses nothing
+// is itself reported (allowcheck).
 package main
 
 import (
@@ -42,24 +51,31 @@ import (
 	"graphrep/internal/analysis/ctxflow"
 	"graphrep/internal/analysis/detrand"
 	"graphrep/internal/analysis/framework"
+	"graphrep/internal/analysis/goroctx"
 	"graphrep/internal/analysis/lockguard"
 	"graphrep/internal/analysis/metricname"
+	"graphrep/internal/analysis/oncevalid"
 	"graphrep/internal/analysis/unsafeconfine"
+	"graphrep/internal/analysis/viewmut"
 )
 
 // version feeds go vet's tool-identity cache; bump it when analyzer behavior
 // changes so stale cached verdicts are invalidated.
-const version = "replint-1.1.0"
+const version = "replint-1.2.0"
 
 var analyzers = []*framework.Analyzer{
 	ctxflow.Analyzer,
 	detrand.Analyzer,
+	goroctx.Analyzer,
 	lockguard.Analyzer,
 	metricname.Analyzer,
+	oncevalid.Analyzer,
 	unsafeconfine.Analyzer,
+	viewmut.Analyzer,
 }
 
 func main() {
+	framework.RegisterFactTypes(analyzers)
 	args := os.Args[1:]
 	// go vet protocol handshakes come before normal flag parsing: -V=full
 	// requests a version line keyed to the tool name, -flags a JSON
@@ -85,9 +101,27 @@ func main() {
 func runStandalone(args []string) int {
 	flags := flag.NewFlagSet("replint", flag.ExitOnError)
 	list := flags.Bool("list", false, "list analyzers and exit")
+	jsonOut := flags.Bool("json", false, "emit one JSON diagnostic per line instead of plain text")
 	enabled := map[string]*bool{}
 	for _, a := range analyzers {
 		enabled[a.Name] = flags.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	flags.Usage = func() {
+		fmt.Fprintf(flags.Output(), `replint: graphrep's invariant linter.
+
+Usage:
+  replint [flags] [packages]        standalone, against the enclosing module
+  go vet -vettool=replint ./...     as a vet tool (unitchecker protocol)
+
+Exit codes:
+  0  no findings
+  1  standalone mode reported findings, or an internal error occurred
+  2  vettool mode reported findings (matches x/tools' unitchecker, so
+     go vet fails the build)
+
+Flags:
+`)
+		flags.PrintDefaults()
 	}
 	flags.Parse(args)
 	if *list {
@@ -130,25 +164,43 @@ func runStandalone(args []string) int {
 		return "", false
 	})
 
-	found := 0
+	// Load every requested package first, then analyze the whole cached set
+	// (dependencies included) in import order through one shared fact store:
+	// facts exported while analyzing internal/mmapfile are visible when its
+	// importers run, even if only the importer was requested.
+	var requested []string
 	for _, dir := range dirs {
 		importPath := moduleName
 		if rel, err := filepath.Rel(root, dir); err == nil && rel != "." {
 			importPath = moduleName + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := loader.LoadDir(dir, importPath)
-		if err != nil {
+		if _, err := loader.LoadDir(dir, importPath); err != nil {
 			fmt.Fprintln(os.Stderr, "replint:", err)
 			return 1
 		}
-		diags, err := framework.RunAnalyzers(pkg, active)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "replint:", err)
-			return 1
-		}
-		for _, d := range diags {
-			fmt.Println(d)
+		requested = append(requested, importPath)
+	}
+	byPath, err := framework.RunAll(loader.Cached(), active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replint:", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	found := 0
+	for _, importPath := range requested {
+		for _, d := range byPath[importPath] {
 			found++
+			if *jsonOut {
+				enc.Encode(jsonDiag{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+				continue
+			}
+			fmt.Println(d)
 		}
 	}
 	if found > 0 {
@@ -156,6 +208,15 @@ func runStandalone(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the -json wire form: one object per diagnostic, one per line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns the
@@ -289,16 +350,14 @@ func runVettool(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "replint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The driver requires the facts file to exist even though replint
-	// computes no cross-package facts.
+	// The driver requires the facts file to exist on every exit path, even
+	// the early typecheck-failure ones; write an empty placeholder now and
+	// overwrite it with the real gob-encoded facts after the run.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "replint:", err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		return 0
 	}
 
 	fset := token.NewFileSet()
@@ -364,10 +423,26 @@ func runVettool(cfgPath string) int {
 		Dir:        cfg.Dir,
 		ImportPath: cfg.ImportPath,
 	}
-	diags, err := framework.RunAnalyzers(pkg, analyzers)
+	store := framework.NewFactStore()
+	importFacts(store, &cfg, tpkg)
+	diags, err := framework.RunWithStore(pkg, analyzers, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "replint:", err)
 		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if facts, err := store.EncodeFacts(tpkg); err == nil {
+			if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "replint:", err)
+				return 1
+			}
+		}
+	}
+	// A VetxOnly run exists to produce this package's facts for an importer
+	// being vetted; diagnostics here were either already reported or are out
+	// of the requested package set, so stay silent.
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
@@ -376,6 +451,49 @@ func runVettool(cfgPath string) int {
 		return 2
 	}
 	return 0
+}
+
+// importFacts loads the gob-encoded fact files cmd/go lists for this
+// package's dependencies into the store. Each file is keyed by import path;
+// the owning *types.Package is found in the transitive import graph of the
+// package under analysis. Missing or unresolvable entries are skipped —
+// facts degrade to per-package analysis rather than failing the vet run.
+func importFacts(store *framework.FactStore, cfg *vetConfig, tpkg *types.Package) {
+	all := map[string]*types.Package{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if p == nil || all[p.Path()] != nil {
+			return
+		}
+		all[p.Path()] = p
+		for _, q := range p.Imports() {
+			walk(q)
+		}
+	}
+	walk(tpkg)
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := all[path]
+		if p == nil {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				p = all[mapped]
+			}
+		}
+		if p == nil {
+			continue
+		}
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			continue
+		}
+		if err := store.DecodeFacts(data, p); err != nil {
+			fmt.Fprintf(os.Stderr, "replint: facts for %s: %v\n", path, err)
+		}
+	}
 }
 
 func compilerOrGC(compiler string) string {

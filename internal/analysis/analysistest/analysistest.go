@@ -4,7 +4,11 @@
 // rules out).
 //
 // Fixtures live under testdata/src/<importpath>/ — GOPATH layout, so one
-// fixture package can import another (e.g. a stub telemetry package).
+// fixture package can import another (e.g. a stub telemetry package). All
+// fixture packages of one Run share a fact store and execute in import
+// order, so facts exported while analyzing a dependency are visible in its
+// importers exactly as in the replint driver.
+//
 // Expectations are trailing comments on the offending line:
 //
 //	_ = rand.Intn(6) // want `global math/rand`
@@ -12,27 +16,47 @@
 // Each backquoted or double-quoted string after "want" is a regexp that must
 // match exactly one diagnostic reported on that line; diagnostics on lines
 // with no matching want, and wants with no matching diagnostic, fail the
-// test. //lint:allow directives are honored exactly as the replint driver
-// honors them, so the escape hatch is testable.
+// test. A string prefixed with an identifier and a colon asserts a fact
+// instead of a diagnostic:
+//
+//	func Bytes() []byte { ... } // want Bytes:`ViewSource`
+//
+// which requires the analyzer to have exported, on the object named Bytes
+// declared on that line, a fact whose fmt.Sprint rendering matches the
+// regexp. Facts without wants are not errors (analyzers fact-mark
+// liberally); fact wants without facts are. //lint:allow directives are
+// honored exactly as the replint driver honors them — including its stale-
+// directive diagnostic — so the escape hatch is testable.
 package analysistest
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
-	"testing"
 
 	"graphrep/internal/analysis/framework"
 )
 
-// wantRe captures the regexp strings of one want comment.
-var wantStringRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+// T is the slice of *testing.T the harness needs. It is an interface so the
+// harness itself can be tested with a recording fake.
+type T interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
 
-// Run loads each fixture package from testdata/src/<pkg>, runs the analyzer,
-// and reports mismatches between diagnostics and // want expectations.
-func Run(t *testing.T, testdataDir string, a *framework.Analyzer, pkgs ...string) {
+// wantItemRe captures one expectation of a want comment: an optional
+// "name:" fact prefix and a backquoted or double-quoted regexp.
+var wantItemRe = regexp.MustCompile("(?:([A-Za-z_][A-Za-z0-9_]*):)?(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// Run loads each fixture package from testdata/src/<pkg>, runs the analyzer
+// over all of them (plus any fixture dependencies) in import order with a
+// shared fact store, and reports mismatches between diagnostics/facts and
+// // want expectations in the named packages.
+func Run(t T, testdataDir string, a *framework.Analyzer, pkgs ...string) {
 	t.Helper()
 	srcRoot := filepath.Join(testdataDir, "src")
 	loader := framework.NewLoader(func(path string) (string, bool) {
@@ -42,16 +66,27 @@ func Run(t *testing.T, testdataDir string, a *framework.Analyzer, pkgs ...string
 		}
 		return "", false
 	})
+	requested := make([]*framework.Package, 0, len(pkgs))
 	for _, pkgPath := range pkgs {
 		pkg, err := loader.LoadDir(filepath.Join(srcRoot, filepath.FromSlash(pkgPath)), pkgPath)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+			return
 		}
-		diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{a})
+		requested = append(requested, pkg)
+	}
+	store := framework.NewFactStore()
+	diagsByPath := map[string][]framework.Diagnostic{}
+	for _, pkg := range framework.SortByImports(loader.Cached()) {
+		diags, err := framework.RunWithStore(pkg, []*framework.Analyzer{a}, store)
 		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+			return
 		}
-		checkWants(t, pkg, diags)
+		diagsByPath[pkg.ImportPath] = diags
+	}
+	for _, pkg := range requested {
+		checkWants(t, pkg, diagsByPath[pkg.ImportPath], store.ObjectFactsAt(a.Name, pkg.Pkg))
 	}
 }
 
@@ -60,38 +95,55 @@ type key struct {
 	line int
 }
 
-func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+// want is one pending expectation: a diagnostic regexp, or — when fact is
+// non-empty — a fact on the object of that name.
+type want struct {
+	fact string
+	re   *regexp.Regexp
+}
+
+func checkWants(t T, pkg *framework.Package, diags []framework.Diagnostic, facts []framework.ObjectFact) {
 	t.Helper()
-	wants := map[key][]*regexp.Regexp{}
+	wants := map[key][]want{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				var spec string
+				switch {
+				case strings.HasPrefix(text, "want "):
+					spec = strings.TrimPrefix(text, "want ")
+				case strings.Contains(text, "// want "):
+					// An expectation can trail other directive text on the
+					// same comment (e.g. after a //lint:allow reason).
+					spec = text[strings.Index(text, "// want ")+len("// want "):]
+				default:
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				k := key{pos.Filename, pos.Line}
-				for _, raw := range wantStringRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
-					pattern, err := unquote(raw)
+				for _, m := range wantItemRe.FindAllStringSubmatch(spec, -1) {
+					pattern, err := unquote(m[2])
 					if err != nil {
-						t.Fatalf("%s: bad want string %s: %v", pos, raw, err)
+						t.Fatalf("%s: bad want string %s: %v", pos, m[2], err)
+						return
 					}
 					re, err := regexp.Compile(pattern)
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+						return
 					}
-					wants[k] = append(wants[k], re)
+					wants[k] = append(wants[k], want{fact: m[1], re: re})
 				}
 			}
 		}
 	}
 	for _, d := range diags {
 		k := key{d.Pos.Filename, d.Pos.Line}
-		res := wants[k]
+		ws := wants[k]
 		matched := -1
-		for i, re := range res {
-			if re.MatchString(d.Message) {
+		for i, w := range ws {
+			if w.fact == "" && w.re.MatchString(d.Message) {
 				matched = i
 				break
 			}
@@ -100,11 +152,30 @@ func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnost
 			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
 			continue
 		}
-		wants[k] = append(res[:matched], res[matched+1:]...)
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
 	}
-	for k, res := range wants {
-		for _, re := range res {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+	for _, of := range facts {
+		pos := pkg.Fset.Position(of.Object.Pos())
+		k := key{pos.Filename, pos.Line}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if w.fact == of.Object.Name() && w.re.MatchString(fmt.Sprint(of.Fact)) {
+				matched = i
+				break
+			}
+		}
+		if matched >= 0 {
+			wants[k] = append(ws[:matched], ws[matched+1:]...)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if w.fact != "" {
+				t.Errorf("%s:%d: expected fact matching %s:%q, got none", k.file, k.line, w.fact, w.re)
+				continue
+			}
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
 		}
 	}
 }

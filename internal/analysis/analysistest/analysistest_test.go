@@ -1,0 +1,104 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"graphrep/internal/analysis/analysistest"
+	"graphrep/internal/analysis/framework"
+)
+
+type markFact struct{}
+
+func (*markFact) AFact()         {}
+func (*markFact) String() string { return "marked" }
+
+// marker exports a fact on every Mark* function and reports calls to marked
+// functions — the smallest analyzer that proves facts cross fixture
+// packages in import order.
+var marker = &framework.Analyzer{
+	Name:      "marker",
+	Doc:       "test analyzer: facts on Mark* functions, diagnostics on their calls",
+	FactTypes: []framework.Fact{&markFact{}},
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil {
+					continue
+				}
+				if strings.HasPrefix(fn.Name.Name, "Mark") {
+					if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+						pass.ExportObjectFact(obj, &markFact{})
+					}
+				}
+			}
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var obj types.Object
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					obj = pass.TypesInfo.Uses[fun]
+				case *ast.SelectorExpr:
+					obj = pass.TypesInfo.Uses[fun.Sel]
+				}
+				if obj != nil && pass.HasObjectFact(obj, &markFact{}) {
+					pass.Reportf(call.Pos(), "call to marked function %s", obj.Name())
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestFactExportImportOrdering(t *testing.T) {
+	// factuse imports factdep but is listed first: the harness must reorder
+	// by imports so factdep's facts exist before factuse is analyzed.
+	analysistest.Run(t, "testdata", marker, "factuse", "factdep")
+}
+
+// fakeT records harness failures instead of failing the real test.
+type fakeT struct {
+	errors []string
+	fatals []string
+}
+
+func (f *fakeT) Helper() {}
+func (f *fakeT) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeT) Fatalf(format string, args ...any) {
+	f.fatals = append(f.fatals, fmt.Sprintf(format, args...))
+}
+
+func TestMissingWantsFailTheHarness(t *testing.T) {
+	ft := &fakeT{}
+	analysistest.Run(ft, "testdata", marker, "missingwant")
+	if len(ft.fatals) > 0 {
+		t.Fatalf("unexpected fatal: %v", ft.fatals)
+	}
+	var missFact, missDiag bool
+	for _, e := range ft.errors {
+		if strings.Contains(e, "expected fact matching") {
+			missFact = true
+		}
+		if strings.Contains(e, "expected diagnostic matching") {
+			missDiag = true
+		}
+	}
+	if !missFact {
+		t.Errorf("missing // want fact did not fail the harness; errors: %v", ft.errors)
+	}
+	if !missDiag {
+		t.Errorf("missing // want diagnostic did not fail the harness; errors: %v", ft.errors)
+	}
+}

@@ -1,0 +1,6 @@
+// Package factdep is the fact-exporting side of the harness meta-fixture.
+package factdep
+
+func MarkRoot() {} // want MarkRoot:`marked`
+
+func Plain() {}

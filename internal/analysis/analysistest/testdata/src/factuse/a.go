@@ -1,0 +1,10 @@
+// Package factuse imports factdep; the diagnostic below only fires if the
+// fact exported during factdep's pass survived into this one.
+package factuse
+
+import "factdep"
+
+func Use() {
+	factdep.MarkRoot() // want `call to marked function MarkRoot`
+	factdep.Plain()
+}

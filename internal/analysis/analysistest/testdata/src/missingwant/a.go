@@ -1,0 +1,7 @@
+// Package missingwant holds wants nothing satisfies; the harness must fail
+// on both of them (exercised through a fake testing.T).
+package missingwant
+
+func MarkLost() {} // want MarkLost:`wrongname`
+
+func Quiet() {} // want `never reported`

@@ -36,13 +36,15 @@ var ScopePackages = map[string]bool{
 	"mtree":    true,
 	"metric":   true,
 	"core":     true,
+	"ged":      true,
+	"mmapfile": true,
 }
 
 // Analyzer is the detrand check.
 var Analyzer = &framework.Analyzer{
 	Name: "detrand",
 	Doc: "forbid global math/rand state and time.Now in the deterministic " +
-		"build/query packages (graphrep, shard, nbindex, nbtree, vantage, mtree, metric, core)",
+		"build/query packages (graphrep, shard, nbindex, nbtree, vantage, mtree, metric, core, ged, mmapfile)",
 	Run: run,
 }
 

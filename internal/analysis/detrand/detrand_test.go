@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetrand(t *testing.T) {
-	analysistest.Run(t, "testdata", detrand.Analyzer, "nbindex", "outofscope")
+	analysistest.Run(t, "testdata", detrand.Analyzer, "nbindex", "ged", "outofscope")
 }

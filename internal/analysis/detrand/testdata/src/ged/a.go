@@ -1,0 +1,18 @@
+// Package ged is a fixture for the widened determinism boundary: the
+// distance kernel and the mmap layer joined the scope set, so global RNG
+// state and clock reads are reported here too.
+package ged
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10) // want `global math/rand\.Intn uses process-wide RNG state`
+	_ = time.Now()    // want `time\.Now in deterministic package ged`
+}
+
+func good(rng *rand.Rand) {
+	_ = rng.Perm(4)
+}

@@ -1,0 +1,374 @@
+package framework
+
+// Facts let an analyzer attach typed findings to objects and packages and
+// read them back while analyzing a downstream package — the stdlib-only
+// counterpart of golang.org/x/tools/go/analysis facts. Within one process
+// (the standalone replint driver, analysistest) a FactStore shared across a
+// dependency-ordered run carries them directly; under `go vet -vettool` each
+// compilation unit is a separate process, so the facts of a package are gob-
+// serialized to its .vetx file (EncodeFacts) and read back by its importers
+// (DecodeFacts), objects addressed by a stable in-package path.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is a typed datum an analyzer exports on an object or package and
+// imports while analyzing downstream packages. Implementations must be
+// pointers to gob-encodable structs; the AFact method is a marker only.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an object with one fact attached to it.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// PackageFact pairs a package with one fact attached to it.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// factKey identifies one fact slot: at most one fact of a given concrete
+// type per analyzer may be attached to an object or package; a second
+// ExportObjectFact overwrites the first.
+type factKey struct {
+	analyzer string
+	t        reflect.Type
+}
+
+// FactStore accumulates facts across a dependency-ordered run. Objects are
+// keyed by identity, which is sound because one Loader materializes exactly
+// one *types.Package (and therefore one object) per import path.
+type FactStore struct {
+	obj map[types.Object]map[factKey]Fact
+	pkg map[*types.Package]map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		obj: map[types.Object]map[factKey]Fact{},
+		pkg: map[*types.Package]map[factKey]Fact{},
+	}
+}
+
+func (s *FactStore) putObject(analyzer string, obj types.Object, fact Fact) {
+	m := s.obj[obj]
+	if m == nil {
+		m = map[factKey]Fact{}
+		s.obj[obj] = m
+	}
+	m[factKey{analyzer, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *FactStore) putPackage(analyzer string, pkg *types.Package, fact Fact) {
+	m := s.pkg[pkg]
+	if m == nil {
+		m = map[factKey]Fact{}
+		s.pkg[pkg] = m
+	}
+	m[factKey{analyzer, reflect.TypeOf(fact)}] = fact
+}
+
+// copyInto copies src (a pointer-to-struct fact) into dst of the same
+// concrete type, reporting whether the types matched.
+func copyInto(dst, src Fact) bool {
+	if reflect.TypeOf(dst) != reflect.TypeOf(src) {
+		return false
+	}
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+	return true
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis — facts flow with imports, never against them.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.store == nil {
+		panic("framework: ExportObjectFact outside a fact-carrying run")
+	}
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("framework: %s exports fact on object %v outside package %s",
+			p.Analyzer.Name, obj, p.Pkg.Path()))
+	}
+	p.store.putObject(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type attached to obj by
+// this analyzer into ptr, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.store == nil || obj == nil {
+		return false
+	}
+	got, ok := p.store.obj[obj][factKey{p.Analyzer.Name, reflect.TypeOf(ptr)}]
+	return ok && copyInto(ptr, got)
+}
+
+// HasObjectFact reports whether this analyzer attached a fact of ptr's
+// concrete type to obj, without copying it.
+func (p *Pass) HasObjectFact(obj types.Object, ptr Fact) bool {
+	if p.store == nil || obj == nil {
+		return false
+	}
+	_, ok := p.store.obj[obj][factKey{p.Analyzer.Name, reflect.TypeOf(ptr)}]
+	return ok
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.store == nil {
+		panic("framework: ExportPackageFact outside a fact-carrying run")
+	}
+	p.store.putPackage(p.Analyzer.Name, p.Pkg, fact)
+}
+
+// ImportPackageFact copies the fact of ptr's concrete type attached to pkg
+// by this analyzer into ptr, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.store == nil || pkg == nil {
+		return false
+	}
+	got, ok := p.store.pkg[pkg][factKey{p.Analyzer.Name, reflect.TypeOf(ptr)}]
+	return ok && copyInto(ptr, got)
+}
+
+// AllObjectFacts returns every object fact this analyzer has exported so far
+// across the run, in deterministic (object position-independent) name order.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	if p.store == nil {
+		return out
+	}
+	for obj, m := range p.store.obj {
+		for k, f := range m {
+			if k.analyzer == p.Analyzer.Name {
+				out = append(out, ObjectFact{obj, f})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object.Pos() != out[j].Object.Pos() {
+			return out[i].Object.Pos() < out[j].Object.Pos()
+		}
+		return fmt.Sprint(out[i].Fact) < fmt.Sprint(out[j].Fact)
+	})
+	return out
+}
+
+// AllPackageFacts returns every package fact this analyzer has exported so
+// far across the run.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	var out []PackageFact
+	if p.store == nil {
+		return out
+	}
+	for pkg, m := range p.store.pkg {
+		for k, f := range m {
+			if k.analyzer == p.Analyzer.Name {
+				out = append(out, PackageFact{pkg, f})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Package.Path() < out[j].Package.Path()
+	})
+	return out
+}
+
+// ObjectFactsAt returns, for analysistest, the facts analyzer attached to
+// objects defined in pkg, paired with the defining object.
+func (s *FactStore) ObjectFactsAt(analyzer string, pkg *types.Package) []ObjectFact {
+	var out []ObjectFact
+	for obj, m := range s.obj {
+		if obj.Pkg() != pkg {
+			continue
+		}
+		for k, f := range m {
+			if k.analyzer == analyzer {
+				out = append(out, ObjectFact{obj, f})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object.Pos() != out[j].Object.Pos() {
+			return out[i].Object.Pos() < out[j].Object.Pos()
+		}
+		return fmt.Sprint(out[i].Fact) < fmt.Sprint(out[j].Fact)
+	})
+	return out
+}
+
+// RegisterFactTypes registers every analyzer's declared fact types with gob
+// so EncodeFacts/DecodeFacts can round-trip them. Call once in a driver that
+// serializes facts (the vettool mode).
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// wireFact is the serialized form of one fact: the exporting analyzer, the
+// in-package path of the object it decorates ("" for a package fact), and
+// the fact itself (gob interface encoding).
+type wireFact struct {
+	Analyzer string
+	Object   string
+	Fact     Fact
+}
+
+// EncodeFacts serializes the facts attached to pkg and to objects defined in
+// pkg. Objects with no stable path (locals, anonymous fields) are dropped —
+// nothing outside the package could address them anyway. The byte stream is
+// deterministic for a given fact set.
+func (s *FactStore) EncodeFacts(pkg *types.Package) ([]byte, error) {
+	var wire []wireFact
+	for obj, m := range s.obj {
+		if obj.Pkg() != pkg {
+			continue
+		}
+		path, ok := objectPath(obj)
+		if !ok {
+			continue
+		}
+		for k, f := range m {
+			wire = append(wire, wireFact{Analyzer: k.analyzer, Object: path, Fact: f})
+		}
+	}
+	for k, f := range s.pkg[pkg] {
+		wire = append(wire, wireFact{Analyzer: k.analyzer, Fact: f})
+	}
+	sort.Slice(wire, func(i, j int) bool {
+		a, b := wire[i], wire[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return fmt.Sprintf("%T", a.Fact) < fmt.Sprintf("%T", b.Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("framework: encoding facts for %s: %w", pkg.Path(), err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFacts merges a serialized fact set for pkg into the store, resolving
+// object paths against pkg's scope. Facts whose object no longer resolves
+// (or whose type was never registered) are skipped, not fatal: a stale vetx
+// from an older analyzer set should degrade to fewer facts, not a broken
+// lint run.
+func (s *FactStore) DecodeFacts(data []byte, pkg *types.Package) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("framework: decoding facts for %s: %w", pkg.Path(), err)
+	}
+	for _, w := range wire {
+		if w.Fact == nil {
+			continue
+		}
+		if w.Object == "" {
+			s.putPackage(w.Analyzer, pkg, w.Fact)
+			continue
+		}
+		if obj := lookupObjectPath(pkg, w.Object); obj != nil {
+			s.putObject(w.Analyzer, obj, w.Fact)
+		}
+	}
+	return nil
+}
+
+// objectPath returns a stable in-package address for obj: "Name" for
+// package-scope objects, "Type.Method" for methods, "Type.Field" for struct
+// fields of package-scope named types.
+func objectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	scope := pkg.Scope()
+	if obj.Parent() == scope {
+		return obj.Name(), true
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		if recv := o.Type().(*types.Signature).Recv(); recv != nil {
+			if name, ok := recvTypeName(recv.Type()); ok {
+				return name + "." + o.Name(), true
+			}
+		}
+	case *types.Var:
+		if o.IsField() {
+			for _, tn := range scope.Names() {
+				named, ok := scope.Lookup(tn).(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := named.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if st.Field(i) == o {
+						return tn + "." + o.Name(), true
+					}
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// recvTypeName unwraps a method receiver type to its named type's name.
+func recvTypeName(t types.Type) (string, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}
+
+// lookupObjectPath resolves a path produced by objectPath within pkg.
+func lookupObjectPath(pkg *types.Package, path string) types.Object {
+	scope := pkg.Scope()
+	dot := strings.IndexByte(path, '.')
+	if dot < 0 {
+		return scope.Lookup(path)
+	}
+	named, ok := scope.Lookup(path[:dot]).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	name := path[dot+1:]
+	if n, ok := named.Type().(*types.Named); ok {
+		for i := 0; i < n.NumMethods(); i++ {
+			if m := n.Method(i); m.Name() == name {
+				return m
+			}
+		}
+	}
+	if st, ok := named.Type().Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Name() == name {
+				return f
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package framework
+
+import (
+	"encoding/gob"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+type tFact struct{ N int }
+
+func (*tFact) AFact() {}
+
+type tPkgFact struct{ Tag string }
+
+func (*tPkgFact) AFact() {}
+
+func init() {
+	gob.Register(&tFact{})
+	gob.Register(&tPkgFact{})
+}
+
+// checkSrc type-checks one synthetic file and returns its package.
+func checkSrc(t *testing.T, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+const factSrc = `package p
+
+type Box struct {
+	Rows []int
+}
+
+func (b *Box) Fill() {}
+
+func Top() {}
+`
+
+func TestObjectPathRoundTrip(t *testing.T) {
+	pkg := checkSrc(t, factSrc)
+	for _, want := range []string{"Top", "Box", "Box.Fill", "Box.Rows"} {
+		obj := lookupObjectPath(pkg, want)
+		if obj == nil {
+			t.Fatalf("lookupObjectPath(%q) = nil", want)
+		}
+		got, ok := objectPath(obj)
+		if !ok || got != want {
+			t.Errorf("objectPath(%v) = %q, %v; want %q", obj, got, ok, want)
+		}
+	}
+	if obj := lookupObjectPath(pkg, "Box.Missing"); obj != nil {
+		t.Errorf("lookupObjectPath(Box.Missing) = %v, want nil", obj)
+	}
+}
+
+func TestEncodeDecodeFactsRoundTrip(t *testing.T) {
+	pkg := checkSrc(t, factSrc)
+	scope := pkg.Scope()
+	top := scope.Lookup("Top")
+	box := scope.Lookup("Box").(*types.TypeName)
+	rows := box.Type().Underlying().(*types.Struct).Field(0)
+
+	src := NewFactStore()
+	src.putObject("ana", top, &tFact{N: 7})
+	src.putObject("ana", rows, &tFact{N: 42})
+	src.putPackage("ana", pkg, &tPkgFact{Tag: "whole-package"})
+
+	data, err := src.EncodeFacts(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic stream: encoding the same store twice is byte-identical.
+	again, err := src.EncodeFacts(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Error("EncodeFacts is not deterministic for an unchanged store")
+	}
+
+	// Decode into a fresh store against a freshly checked package (distinct
+	// object identities, as in a separate vet process).
+	pkg2 := checkSrc(t, factSrc)
+	dst := NewFactStore()
+	if err := dst.DecodeFacts(data, pkg2); err != nil {
+		t.Fatal(err)
+	}
+	top2 := pkg2.Scope().Lookup("Top")
+	got, ok := dst.obj[top2][factKey{"ana", reflect.TypeOf(&tFact{})}].(*tFact)
+	if !ok || got.N != 7 {
+		t.Errorf("Top fact after round-trip = %+v, %v; want &{7}", got, ok)
+	}
+	rows2 := pkg2.Scope().Lookup("Box").(*types.TypeName).Type().Underlying().(*types.Struct).Field(0)
+	gotRows, ok := dst.obj[rows2][factKey{"ana", reflect.TypeOf(&tFact{})}].(*tFact)
+	if !ok || gotRows.N != 42 {
+		t.Errorf("Box.Rows fact after round-trip = %+v, %v; want &{42}", gotRows, ok)
+	}
+	gotPkg, ok := dst.pkg[pkg2][factKey{"ana", reflect.TypeOf(&tPkgFact{})}].(*tPkgFact)
+	if !ok || gotPkg.Tag != "whole-package" {
+		t.Errorf("package fact after round-trip = %+v, %v; want whole-package", gotPkg, ok)
+	}
+}
+
+func TestDecodeFactsEmptyAndStale(t *testing.T) {
+	pkg := checkSrc(t, factSrc)
+	dst := NewFactStore()
+	if err := dst.DecodeFacts(nil, pkg); err != nil {
+		t.Errorf("DecodeFacts(nil) = %v, want nil (empty vetx placeholder)", err)
+	}
+
+	// A fact addressing an object the current package no longer declares
+	// must be skipped, not fatal.
+	src := NewFactStore()
+	shrunk := checkSrc(t, "package p\n\nfunc Top() {}\n")
+	full := checkSrc(t, factSrc)
+	src.putObject("ana", full.Scope().Lookup("Top"), &tFact{N: 1})
+	src.putObject("ana", full.Scope().Lookup("Box"), &tFact{N: 2})
+	data, err := src.EncodeFacts(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.DecodeFacts(data, shrunk); err != nil {
+		t.Fatalf("DecodeFacts with stale object = %v, want graceful skip", err)
+	}
+	if got := dst.obj[shrunk.Scope().Lookup("Top")]; len(got) != 1 {
+		t.Errorf("surviving facts on Top = %d, want 1", len(got))
+	}
+}

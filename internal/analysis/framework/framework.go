@@ -42,6 +42,9 @@ type Analyzer struct {
 	// pass.Reportf. Returning an error aborts the whole lint run — reserve
 	// it for internal failures, not findings.
 	Run func(pass *Pass) error
+	// FactTypes lists pointer prototypes of every Fact type this analyzer
+	// exports, so drivers that serialize facts can register them with gob.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding, resolved to a file position.
@@ -63,6 +66,7 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	store *FactStore
 	diags []Diagnostic
 }
 
@@ -80,19 +84,38 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
 }
 
-// RunAnalyzers executes each analyzer over the package, filters findings
-// through the //lint:allow directives in the package's files, and returns
-// the survivors sorted by position.
+// AllowCheckName is the analyzer name attached to stale-suppression
+// diagnostics: a //lint:allow directive that names an analyzer which ran but
+// suppressed nothing is itself a finding (the code it excused was fixed, or
+// the directive never matched). These diagnostics are not suppressible.
+const AllowCheckName = "allowcheck"
+
+// RunAnalyzers executes each analyzer over the package with a private fact
+// store — the single-package entry point. Cross-package facts need
+// RunWithStore or RunAll.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithStore(pkg, analyzers, NewFactStore())
+}
+
+// RunWithStore executes each analyzer over the package, sharing store so
+// facts exported while analyzing this package's dependencies are visible
+// here (and this package's exports visible downstream). Findings are
+// filtered through //lint:allow directives; directives that name one of the
+// analyzers run yet suppress nothing are reported under AllowCheckName. The
+// survivors come back sorted by position.
+func RunWithStore(pkg *Package, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	allows := collectAllows(pkg.Fset, pkg.Files)
+	ran := map[string]bool{}
 	var out []Diagnostic
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.Info,
+			store:     store,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Pkg.Path(), err)
@@ -103,6 +126,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	out = append(out, allows.stale(ran)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -119,23 +143,64 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return out, nil
 }
 
-// allowSet indexes //lint:allow directives: file -> line -> analyzer names.
-type allowSet map[string]map[int]map[string]bool
+// allowDirective is one analyzer name from one //lint:allow comment, with a
+// usage bit so stale directives can be reported after the run.
+type allowDirective struct {
+	pos  token.Position
+	name string
+	used bool
+}
 
-func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
+// allowSet indexes //lint:allow directives: file -> directive line ->
+// directives declared on that line.
+type allowSet struct {
+	byLine map[string]map[int][]*allowDirective
+}
+
+func (s *allowSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	// A directive covers its own line (trailing comment) and the line below
 	// it (standalone comment above the statement).
-	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.name == analyzer {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stale returns one diagnostic per directive whose analyzer ran in this pass
+// yet suppressed nothing. Directives naming analyzers outside ran are left
+// alone — a partial run can't judge them.
+func (s *allowSet) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range s.byLine {
+		for _, ds := range lines {
+			for _, d := range ds {
+				if d.used || !ran[d.name] {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: AllowCheckName,
+					Message:  fmt.Sprintf("//lint:allow %s suppresses no %s diagnostic; remove the stale directive", d.name, d.name),
+				})
+			}
+		}
+	}
+	return out
 }
 
 const allowPrefix = "lint:allow"
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := allowSet{}
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	set := &allowSet{byLine: map[string]map[int][]*allowDirective{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -149,27 +214,76 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				lines := set[pos.Filename]
+				lines := set.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					set[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = map[string]bool{}
-					lines[pos.Line] = names
+					lines = map[int][]*allowDirective{}
+					set.byLine[pos.Filename] = lines
 				}
 				// fields[0] is the comma-separated analyzer list; the rest
 				// is the human-readable reason.
 				for _, name := range strings.Split(fields[0], ",") {
 					if name != "" {
-						names[name] = true
+						lines[pos.Line] = append(lines[pos.Line], &allowDirective{pos: pos, name: name})
 					}
 				}
 			}
 		}
 	}
 	return set
+}
+
+// RunAll executes the analyzers over every package in dependency order with
+// one shared fact store, so facts exported while analyzing an imported
+// package are visible to its importers. It returns diagnostics keyed by
+// import path; callers lint a subset by indexing into the result.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) (map[string][]Diagnostic, error) {
+	store := NewFactStore()
+	out := map[string][]Diagnostic{}
+	for _, pkg := range SortByImports(pkgs) {
+		diags, err := RunWithStore(pkg, analyzers, store)
+		if err != nil {
+			return nil, err
+		}
+		out[pkg.ImportPath] = diags
+	}
+	return out, nil
+}
+
+// SortByImports topologically orders pkgs so every package comes after all
+// of its dependencies that are also in pkgs, ties broken by import path for
+// determinism. Import cycles can't occur in type-checked Go.
+func SortByImports(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+	seen := map[string]bool{}
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || seen[path] {
+			return
+		}
+		seen[path] = true
+		deps := p.Pkg.Imports()
+		depPaths := make([]string, 0, len(deps))
+		for _, d := range deps {
+			depPaths = append(depPaths, d.Path())
+		}
+		sort.Strings(depPaths)
+		for _, d := range depPaths {
+			visit(d)
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }
 
 // QualifiedCall resolves a call of the form pkg.Fn(...) to the imported

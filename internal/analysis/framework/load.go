@@ -58,6 +58,23 @@ func NewLoader(resolve func(importPath string) (dir string, ok bool)) *Loader {
 	}
 }
 
+// Cached returns every package this loader has materialized from source —
+// the requested directories plus any Resolve-mapped dependencies pulled in
+// by type checking — sorted by import path. Feeding the full set to RunAll
+// is what lets facts flow from dependencies the caller never named.
+func (l *Loader) Cached() []*Package {
+	paths := make([]string, 0, len(l.cache))
+	for path := range l.cache {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		out = append(out, l.cache[path])
+	}
+	return out
+}
+
 // Import implements types.Importer for dependency resolution during type
 // checking.
 func (l *Loader) Import(path string) (*types.Package, error) {
@@ -125,7 +142,10 @@ func (l *Loader) load(dir, importPath string) (*Package, error) {
 }
 
 // parseDir parses every buildable non-test Go file in dir, in name order so
-// diagnostics come out deterministically.
+// diagnostics come out deterministically. Build-constrained files
+// (//go:build tags, _GOOS/_GOARCH suffixes) are filtered through go/build's
+// default context, matching what the compiler would select on this host —
+// otherwise platform variants of the same function redeclare each other.
 func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -137,6 +157,9 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,12 @@
+package goroctx_test
+
+import (
+	"testing"
+
+	"graphrep/internal/analysis/analysistest"
+	"graphrep/internal/analysis/goroctx"
+)
+
+func TestGoroctx(t *testing.T) {
+	analysistest.Run(t, "testdata", goroctx.Analyzer, "workpkg", "nbindex")
+}

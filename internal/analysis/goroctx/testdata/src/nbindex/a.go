@@ -1,0 +1,64 @@
+// Package nbindex (a scope name) exercises every goroutine launch rule.
+package nbindex
+
+import (
+	"context"
+	"sync"
+
+	"workpkg"
+)
+
+// Launch covers the accept and reject cases of the go-statement check.
+func Launch(ctx context.Context) {
+	go workpkg.Work(ctx)    // ok: CancelAware callee with a ctx argument
+	go workpkg.Forward(ctx) // ok: transitively CancelAware
+	go workpkg.Spin()       // want `goroutine neither observes ctx cancellation`
+	go func() {             // ok: selects on ctx.Done
+		<-ctx.Done()
+	}()
+	go func() { // want `goroutine neither observes ctx cancellation`
+		workpkg.Spin()
+	}()
+	go func() { // ok: calls a CancelAware function with a ctx
+		workpkg.Work(ctx)
+	}()
+	go spinForever() // want `goroutine neither observes ctx cancellation`
+}
+
+func spinForever() {}
+
+// Joined is the WaitGroup pattern: the launcher Waits on the group every
+// worker Dones.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workpkg.Spin()
+		}()
+	}
+	wg.Wait()
+}
+
+// Unjoined launches a Done-calling worker but never Waits — still a leak.
+func Unjoined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine neither observes ctx cancellation`
+		defer wg.Done()
+	}()
+}
+
+// Poll is the pool.Ranges shape: ctx.Err polling inside a joined worker.
+func Poll(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			break
+		}
+	}()
+	wg.Wait()
+}

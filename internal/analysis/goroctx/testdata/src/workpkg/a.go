@@ -1,0 +1,22 @@
+// Package workpkg is outside goroctx's reporting scope; it exists to export
+// CancelAware facts consumed by the launching fixture.
+package workpkg
+
+import "context"
+
+// Work blocks until cancellation.
+func Work(ctx context.Context) { // want Work:`CancelAware`
+	<-ctx.Done()
+}
+
+// Forward is cancel-aware only transitively, through Work.
+func Forward(ctx context.Context) { // want Forward:`CancelAware`
+	Work(ctx)
+}
+
+// Spin ignores cancellation entirely.
+func Spin() {
+	for i := 0; i >= 0; i++ {
+		_ = i
+	}
+}

@@ -1,0 +1,197 @@
+// Package oncevalid defines an analyzer enforcing the deferred-validation
+// contract of the v4 zero-copy open path: a struct field whose doc comment
+// says "validated by EnsureValid" (or another validator name) holds content
+// that no O(n) scan has checked yet, and must not be indexed or iterated
+// until the validator — a sync.Once gate — has run on the current path.
+//
+// The annotation exports a DeferredValidated fact on the field object, so
+// the rule follows the field across packages: a client indexing an exported
+// annotated field is checked exactly like in-package code. Exempt are the
+// validator itself, functions whose name starts with validate/Validate (the
+// scan the Once defers), and builders that created the struct locally —
+// freshly built content was never deferred.
+package oncevalid
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"graphrep/internal/analysis/framework"
+)
+
+// DeferredValidated marks a field whose content is only checked once the
+// named validator method has run.
+type DeferredValidated struct{ Validator string }
+
+func (*DeferredValidated) AFact()           {}
+func (f *DeferredValidated) String() string { return "DeferredValidated(" + f.Validator + ")" }
+
+// annotationRe matches the field-doc contract, e.g. "validated by
+// EnsureValid".
+var annotationRe = regexp.MustCompile(`validated by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// Analyzer flags reads of deferred-validated fields on paths where the
+// validator has not run.
+var Analyzer = &framework.Analyzer{
+	Name: "oncevalid",
+	Doc: "flag reads of deferred-validated fields before the validator runs\n\n" +
+		"A field documented \"validated by EnsureValid\" defers its O(n)\n" +
+		"content check to a sync.Once; indexing or ranging over it in a\n" +
+		"function that has not called the validator first reads content no\n" +
+		"invariant covers. The annotation travels as a fact, so exported\n" +
+		"fields are protected in downstream packages too.",
+	Run:       run,
+	FactTypes: []framework.Fact{&DeferredValidated{}},
+}
+
+func run(pass *framework.Pass) error {
+	// Derive: annotated struct fields export DeferredValidated.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				validator := fieldValidator(field)
+				if validator == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil && obj.Pkg() == pass.Pkg {
+						if !pass.HasObjectFact(obj, &DeferredValidated{}) {
+							pass.ExportObjectFact(obj, &DeferredValidated{Validator: validator})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFn(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// fieldValidator extracts the validator name from a field's doc or line
+// comment.
+func fieldValidator(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := annotationRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkFn(pass *framework.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	name := fn.Name.Name
+	if strings.HasPrefix(name, "validate") || strings.HasPrefix(name, "Validate") {
+		return
+	}
+	// Locals initialized from composite literals: the builder exemption.
+	built := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if u, isU := rhs.(*ast.UnaryExpr); isU {
+				rhs = u.X
+			}
+			if _, isLit := rhs.(*ast.CompositeLit); !isLit {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				built[obj] = true
+			}
+		}
+		return true
+	})
+	// Calls whose method name could be a validator, with positions, so a
+	// read is fine when some call to its validator precedes it in the
+	// function.
+	validatorCalls := map[string][]token.Pos{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			validatorCalls[f.Sel.Name] = append(validatorCalls[f.Sel.Name], call.Pos())
+		case *ast.Ident:
+			validatorCalls[f.Name] = append(validatorCalls[f.Name], call.Pos())
+		}
+		return true
+	})
+	check := func(sel *ast.SelectorExpr, readPos token.Pos) {
+		fieldObj, ok := info.Uses[sel.Sel].(*types.Var)
+		if !ok || !fieldObj.IsField() {
+			if s, has := info.Selections[sel]; has && s.Kind() == types.FieldVal {
+				fieldObj, _ = s.Obj().(*types.Var)
+			}
+		}
+		if fieldObj == nil {
+			return
+		}
+		var fact DeferredValidated
+		if !pass.ImportObjectFact(fieldObj, &fact) {
+			return
+		}
+		if name == fact.Validator {
+			return
+		}
+		if id, isId := sel.X.(*ast.Ident); isId {
+			if obj := info.Uses[id]; obj != nil && built[obj] {
+				return
+			}
+		}
+		for _, p := range validatorCalls[fact.Validator] {
+			if p < readPos {
+				return
+			}
+		}
+		pass.Reportf(readPos, "read of %s before %s: deferred validation has not run on this path", types.ExprString(sel), fact.Validator)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok {
+				check(sel, n.Pos())
+			}
+		case *ast.RangeStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok {
+				check(sel, n.Pos())
+			}
+		}
+		return true
+	})
+}

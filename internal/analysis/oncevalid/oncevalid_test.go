@@ -1,0 +1,12 @@
+package oncevalid_test
+
+import (
+	"testing"
+
+	"graphrep/internal/analysis/analysistest"
+	"graphrep/internal/analysis/oncevalid"
+)
+
+func TestOncevalid(t *testing.T) {
+	analysistest.Run(t, "testdata", oncevalid.Analyzer, "holder", "client")
+}

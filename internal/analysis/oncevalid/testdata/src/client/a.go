@@ -1,0 +1,26 @@
+// Package client proves the annotation crosses packages: the fact exported
+// on holder.Index.Leaf is enforced here too.
+package client
+
+import "holder"
+
+// Sum is the seeded cross-package violation.
+func Sum(ix *holder.Index) int32 {
+	var s int32
+	for _, l := range ix.Leaf { // want `read of ix.Leaf before EnsureValid`
+		s += l
+	}
+	return s
+}
+
+// SumValid validates first.
+func SumValid(ix *holder.Index) (int32, error) {
+	if err := ix.EnsureValid(); err != nil {
+		return 0, err
+	}
+	var s int32
+	for _, l := range ix.Leaf {
+		s += l
+	}
+	return s, nil
+}

@@ -1,0 +1,71 @@
+// Package holder declares a deferred-validated field, its sync.Once
+// validator, and every exemption the rule grants.
+package holder
+
+import "sync"
+
+// Index mirrors nbindex.Index's deferred-validation shape.
+type Index struct {
+	// Leaf maps ids to leaf nodes; validated by EnsureValid.
+	Leaf []int32 // want Leaf:`DeferredValidated\(EnsureValid\)`
+
+	once sync.Once
+	err  error
+}
+
+// EnsureValid runs the deferred content check exactly once.
+func (ix *Index) EnsureValid() error {
+	ix.once.Do(func() {
+		ix.err = ix.validate()
+	})
+	return ix.err
+}
+
+// validate is exempt by name: it IS the deferred scan.
+func (ix *Index) validate() error {
+	for _, l := range ix.Leaf {
+		if l < 0 {
+			return errNegative
+		}
+	}
+	return nil
+}
+
+var errNegative = errorString("holder: negative leaf")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Good reads only after the validator ran on this path.
+func (ix *Index) Good(i int) (int32, error) {
+	if err := ix.EnsureValid(); err != nil {
+		return 0, err
+	}
+	return ix.Leaf[i], nil
+}
+
+// Bad is the seeded violation: an index read with no validation call.
+func (ix *Index) Bad(i int) int32 {
+	return ix.Leaf[i] // want `read of ix.Leaf before EnsureValid`
+}
+
+// Allowed shows the escape hatch; the directive is used, so allowcheck
+// stays quiet.
+func (ix *Index) Allowed(i int) int32 {
+	return ix.Leaf[i] //lint:allow oncevalid callers run EnsureValid before navigation
+}
+
+// Untouched carries a stale directive: nothing here triggers oncevalid, so
+// the framework reports the suppression itself.
+func (ix *Index) Untouched() {} //lint:allow oncevalid stale // want `suppresses no oncevalid diagnostic`
+
+// Build is the builder exemption: freshly constructed content was never
+// deferred.
+func Build(n int) *Index {
+	ix := &Index{Leaf: make([]int32, n)}
+	for i := range ix.Leaf {
+		ix.Leaf[i] = int32(i)
+	}
+	return ix
+}

@@ -1,0 +1,71 @@
+// Package mmapfile mirrors the taint roots of the real internal/mmapfile:
+// syscall.Mmap is the primordial source, View aliases its argument, and the
+// File retains the mapping in a field.
+package mmapfile
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// File holds one read-only mapping.
+type File struct {
+	data []byte // want data:`ViewHolder`
+}
+
+// Open maps fd; the mapping taints File.data through the composite literal.
+func Open(fd, size int) (*File, error) {
+	data, err := syscall.Mmap(fd, 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data}, nil
+}
+
+// Bytes returns the mapped bytes.
+func (f *File) Bytes() []byte { // want Bytes:`ViewSource`
+	return f.data[:len(f.data):len(f.data)]
+}
+
+// View reinterprets b as int64s, aliasing its memory.
+func View(b []byte) ([]int64, error) { // want View:`AliasesParams\(0\)`
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mmapfile: %d bytes", len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	s := unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	return s[:n:n], nil
+}
+
+// ViewF is View for float64 sections.
+func ViewF(b []byte) ([]float64, error) { // want ViewF:`AliasesParams\(0\)`
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mmapfile: %d bytes", len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	s := unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	return s[:n:n], nil
+}
+
+// Scribble is the seeded violation: a direct write through the mapping.
+func (f *File) Scribble() {
+	f.data[0] = 0 // want `write into view-backed slice`
+}
+
+// Decode is the heap fallback shape: writes through a locally made slice
+// are clean even when the input is tainted.
+func Decode(f *File) []byte {
+	b := f.Bytes()
+	out := make([]byte, len(b))
+	for i := range out {
+		out[i] = b[i]
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+// Package shard exercises cross-package taint: views produced by the
+// mmapfile fixture flow through the vantage fixture's facts.
+package shard
+
+import (
+	"sort"
+
+	"mmapfile"
+	"vantage"
+)
+
+// Load wires mapped sections into the deferred constructor, mutating along
+// the way where it must not.
+func Load(f *mmapfile.File) (*vantage.Ordering, error) {
+	vps, err := mmapfile.View(f.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	dist, err := mmapfile.ViewF(f.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	vps[0] = 1 // want `write into view-backed slice`
+	o := vantage.FromViewsDeferred(vps, dist, 1)
+	row := o.DistRow(0)
+	sort.Float64s(row) // want `in-place sort of view-backed slice`
+	heap := append([]float64(nil), row...)
+	sort.Float64s(heap)
+	return o, nil
+}

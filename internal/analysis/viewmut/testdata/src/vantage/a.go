@@ -1,0 +1,71 @@
+// Package vantage mirrors the deferred-constructor shape of the real
+// internal/vantage: parameters retained in fields become ViewHolder facts,
+// accessors become ViewSources, and Insert is the sanctioned thaw site.
+package vantage
+
+import "sort"
+
+// Ordering retains caller-provided (possibly mapped) rows.
+type Ordering struct {
+	vps  []int64     // want vps:`ViewHolder`
+	dist [][]float64 // want dist:`ViewHolder`
+}
+
+// FromViewsDeferred retains vps and row-slices of dist without copying.
+func FromViewsDeferred(vps []int64, dist []float64, count int) *Ordering {
+	o := &Ordering{vps: vps, dist: make([][]float64, len(vps))}
+	for v := range vps {
+		lo, hi := v*count, (v+1)*count
+		o.dist[v] = dist[lo:hi:hi]
+	}
+	return o
+}
+
+// DistRow hands out a possibly-mapped row.
+func (o *Ordering) DistRow(v int) []float64 { return o.dist[v] } // want DistRow:`ViewSource`
+
+// Insert is whitelisted in ThawSites: rows are cap==len, so the leading
+// append reallocates before the element write lands.
+func (o *Ordering) Insert(v int, d float64) {
+	o.dist[v] = append(o.dist[v], d)
+	o.dist[v][0] = d
+}
+
+// Corrupt is the seeded element-write violation.
+func (o *Ordering) Corrupt(v int, d float64) {
+	o.dist[v][0] = d // want `write into view-backed slice`
+}
+
+// SortRow is the seeded in-place sort violation.
+func (o *Ordering) SortRow(v int) {
+	sort.Float64s(o.dist[v]) // want `in-place sort of view-backed slice`
+}
+
+// Grow is the seeded append violation.
+func (o *Ordering) Grow(v int) []float64 {
+	row := o.dist[v]
+	return append(row, 0) // want `append to view-backed slice`
+}
+
+// Blit is the seeded copy violation.
+func (o *Ordering) Blit(v int, src []float64) {
+	copy(o.dist[v], src) // want `copy into view-backed slice`
+}
+
+// Scratch shows the escape hatch; the directive is used, so allowcheck
+// stays quiet.
+func (o *Ordering) Scratch(v int) {
+	o.dist[v][0] = 0 //lint:allow viewmut fixture exercises the escape hatch
+}
+
+// Build is the builder exemption: writes through a struct this function
+// created initialize fresh heap memory.
+func Build(n, count int) *Ordering {
+	o := &Ordering{dist: make([][]float64, n)}
+	for v := range o.dist {
+		o.dist[v] = make([]float64, count)
+		o.dist[v][0] = 1
+		sort.Float64s(o.dist[v])
+	}
+	return o
+}

@@ -28,7 +28,13 @@ type File struct {
 // Open returns the file's byte image, memory-mapped when the platform
 // supports it (the build selects the implementation). The mapping is
 // read-only and shared, so concurrent opens of one file share page cache.
+// Setting GRAPHREP_DISABLE_MMAP to any non-empty value forces the heap-copy
+// path, letting CI exercise the ReadFile fallback on platforms that do have
+// mmap.
 func Open(path string) (*File, error) {
+	if os.Getenv("GRAPHREP_DISABLE_MMAP") != "" {
+		return OpenReadAll(path)
+	}
 	return platformOpen(path)
 }
 

@@ -167,3 +167,19 @@ func TestViewAppendDoesNotWriteThrough(t *testing.T) {
 		t.Fatal("append wrote through the view into the backing bytes")
 	}
 }
+
+func TestDisableMmapEnv(t *testing.T) {
+	path := writeTemp(t, []byte("payload"))
+	t.Setenv("GRAPHREP_DISABLE_MMAP", "1")
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Mapped() {
+		t.Fatal("GRAPHREP_DISABLE_MMAP=1 still produced a mapping")
+	}
+	if !bytes.Equal(f.Bytes(), []byte("payload")) {
+		t.Fatalf("Bytes() = %q, want %q", f.Bytes(), "payload")
+	}
+}

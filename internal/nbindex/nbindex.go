@@ -94,7 +94,8 @@ type Index struct {
 	base graph.ID
 	// leafOf maps a covered graph ID (offset by base) to its leaf node index
 	// in the flat tree. May alias a mapped section; thaw copies it before
-	// any mutation.
+	// any mutation; validated by EnsureValid (deferred range checks for
+	// view-backed indexes).
 	leafOf []int32
 	// embs[i] is the filter embedding of graph base+i: the precomputed
 	// vector whose L1-style lower bound opens the bounded distance cascade.
@@ -491,6 +492,10 @@ func (ix *Index) Base() graph.ID { return ix.base }
 func (ix *Index) Count() int { return ix.vo.Len() }
 
 // LeafIdx returns the tree node index of the leaf holding covered graph id.
+// Callers reach it through a Session, whose construction already ran
+// EnsureValid (newSession).
+//
+//lint:allow oncevalid validation ran in newSession before any Session method can call this
 func (ix *Index) LeafIdx(id graph.ID) int { return int(ix.leafOf[id-ix.base]) }
 
 // LeafOf returns the leaf map: covered graph ID minus Base() to flat node
@@ -774,6 +779,7 @@ func (s *Session) TopKContext(ctx context.Context, theta float64, k int) (*core.
 	// applyCredit records that relevant graph id became covered: one credit
 	// at its highest diameter ≤ θ ancestor, with F recomputed upward.
 	applyCredit := func(id graph.ID) {
+		//lint:allow oncevalid newSession validated the index before this Session method could run
 		a := ix.leafOf[id-ix.base]
 		for p := f.Parents[a]; p != -1 && f.Diameters[p] <= theta; p = f.Parents[p] {
 			a = p
