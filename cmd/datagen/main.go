@@ -1,9 +1,13 @@
 // Command datagen generates one of the synthetic datasets and writes it in
-// the text exchange format, for use with repquery -in or external tools.
+// the text exchange format or the GRDB001 flat container (which repquery and
+// repserve memory-map instead of parsing), for use with -in flags or
+// external tools.
 //
 // Usage:
 //
 //	datagen -dataset dud -n 5000 -seed 7 -out dud.gdb
+//	datagen -dataset dud -n 5000 -seed 7 -out dud.grdb          # format from extension
+//	datagen -dataset dud -n 5000 -seed 7 -format grdb > dud.grdb
 package main
 
 import (
@@ -11,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"graphrep"
 	"graphrep/internal/dataset"
@@ -23,9 +28,21 @@ func main() {
 		n      = flag.Int("n", 1000, "number of graphs")
 		seed   = flag.Int64("seed", 42, "generation seed")
 		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "auto", "output format: text, grdb (flat container, memory-mappable), or auto (grdb when -out ends in .grdb, else text)")
 		config = flag.String("config", "", "JSON file with a custom dataset.Config (overrides -dataset)")
 	)
 	flag.Parse()
+	switch *format {
+	case "auto":
+		if strings.HasSuffix(*out, ".grdb") {
+			*format = "grdb"
+		} else {
+			*format = "text"
+		}
+	case "text", "grdb":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, grdb, or auto)", *format))
+	}
 
 	db, err := generate(*config, *name, *n, *seed)
 	if err != nil {
@@ -44,11 +61,16 @@ func main() {
 		}()
 		w = f
 	}
-	if err := graphrep.WriteDatabase(w, db); err != nil {
+	if *format == "grdb" {
+		err = graphrep.SaveDatabase(w, db)
+	} else {
+		err = graphrep.WriteDatabase(w, db)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	st := db.Stats()
-	fmt.Fprintf(os.Stderr, "wrote %d graphs (avg |V|=%.1f, avg |E|=%.1f)\n", st.Graphs, st.AvgNodes, st.AvgEdges)
+	fmt.Fprintf(os.Stderr, "wrote %d graphs as %s (avg |V|=%.1f, avg |E|=%.1f)\n", st.Graphs, *format, st.AvgNodes, st.AvgEdges)
 }
 
 // generate builds the database from a custom JSON config when given,

@@ -13,11 +13,14 @@
 //	repbench -bench-kernel BENCH_kernel.json -bench-sizes 400,4000
 //	repbench -bench-load BENCH_load.json
 //	repbench -bench-load BENCH_load.json -bench-sizes 400,4000
+//	repbench -bench-graphload BENCH_graphload.json
+//	repbench -bench-graphload BENCH_graphload.json -bench-sizes 400,4000
 //
-// -bench-kernel and -bench-load double as regression gates: the process
-// exits non-zero when the bounded kernel's query path is not strictly
-// faster than the exact baseline, or the mapped v4 index open is not
-// strictly faster than the v3 gob decode, at any benchmarked size.
+// -bench-kernel, -bench-load, and -bench-graphload double as regression
+// gates: the process exits non-zero when the bounded kernel's query path is
+// not strictly faster than the exact baseline, the mapped v4 index open is
+// not strictly faster than the v3 gob decode, or the mapped GRDB corpus
+// open is not strictly faster than the text parse, at any benchmarked size.
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 		benchShard  = flag.String("bench-shards", "", "run the shard build/query benchmark and write the JSON report to this file (skips experiments)")
 		benchKern   = flag.String("bench-kernel", "", "run the bounded-kernel on/off comparison and write the JSON report to this file (skips experiments)")
 		benchLd     = flag.String("bench-load", "", "run the index open-cost comparison (v3 decode vs v4 mmap) and write the JSON report to this file (skips experiments)")
+		benchGrLd   = flag.String("bench-graphload", "", "run the corpus open-cost comparison (text parse vs GRDB mmap) and write the JSON report to this file (skips experiments)")
 		shards      = flag.Int("shards", 0, "with -bench-shards: benchmark only this shard count (0 = the 1/2/4 sweep)")
 		benchShardN = flag.Int("bench-n", 400, "with -bench-shards/-bench-kernel: benchmark database size")
 		benchSizes  = flag.String("bench-sizes", "", "with -bench-kernel: comma-separated database sizes (overrides -bench-n)")
@@ -55,13 +59,13 @@ func main() {
 		usageError("-shards requires -bench-shards")
 	}
 	modes := 0
-	for _, m := range []string{*benchShard, *benchKern, *benchLd} {
+	for _, m := range []string{*benchShard, *benchKern, *benchLd, *benchGrLd} {
 		if m != "" {
 			modes++
 		}
 	}
 	if modes > 1 {
-		usageError("-bench-shards, -bench-kernel, and -bench-load are mutually exclusive")
+		usageError("-bench-shards, -bench-kernel, -bench-load, and -bench-graphload are mutually exclusive")
 	}
 
 	if *benchShard != "" {
@@ -70,13 +74,13 @@ func main() {
 		}
 		return
 	}
-	if *benchSizes != "" && *benchKern == "" && *benchLd == "" {
-		usageError("-bench-sizes requires -bench-kernel or -bench-load")
+	if *benchSizes != "" && *benchKern == "" && *benchLd == "" && *benchGrLd == "" {
+		usageError("-bench-sizes requires -bench-kernel, -bench-load, or -bench-graphload")
 	}
-	if *benchKern != "" || *benchLd != "" {
+	if *benchKern != "" || *benchLd != "" || *benchGrLd != "" {
 		sizes := []int{*benchShardN}
-		if *benchLd != "" && *benchSizes == "" {
-			// The load benchmark's point is the scaling contrast, so its
+		if (*benchLd != "" || *benchGrLd != "") && *benchSizes == "" {
+			// The load benchmarks' point is the scaling contrast, so their
 			// default is the two-size sweep rather than a single n.
 			sizes = []int{400, 4000}
 		}
@@ -96,7 +100,13 @@ func main() {
 			}
 			return
 		}
-		if err := benchLoad(os.Stdout, *benchLd, sizes); err != nil {
+		if *benchLd != "" {
+			if err := benchLoad(os.Stdout, *benchLd, sizes); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := benchGraphLoad(os.Stdout, *benchGrLd, sizes); err != nil {
 			fatal(err)
 		}
 		return

@@ -177,16 +177,14 @@ func main() {
 	}
 }
 
+// loadDatabase generates the corpus or opens -in by content: a GRDB001
+// container is memory-mapped (flat open time, near-zero heap), anything else
+// parses as the text format.
 func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, error) {
 	if path == "" {
 		return graphrep.GenerateDataset(name, n, seed)
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return graphrep.ReadDatabase(f)
+	return graphrep.LoadDatabaseFile(path)
 }
 
 // autoTheta samples pairwise distances and picks a low quantile, mirroring

@@ -102,16 +102,15 @@ func usageError(format string, args ...any) {
 	os.Exit(2)
 }
 
+// loadDatabase generates the corpus or opens -in by content: a GRDB001
+// container is memory-mapped — the server starts serving with a flat open
+// cost and corpus pages fault in as queries touch them — anything else
+// parses as the text format onto the heap.
 func loadDatabase(path, name string, n int, seed int64) (*graphrep.Database, error) {
 	if path == "" {
 		return graphrep.GenerateDataset(name, n, seed)
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return graphrep.ReadDatabase(f)
+	return graphrep.LoadDatabaseFile(path)
 }
 
 // openEngine loads a persisted index when available (its stored shard count

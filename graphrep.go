@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"strconv"
 	"time"
 
@@ -90,6 +91,58 @@ func ReadDatabase(r io.Reader) (*Database, error) { return graph.ReadDatabase(r)
 
 // WriteDatabase writes db in the text exchange format.
 func WriteDatabase(w io.Writer, db *Database) error { return graph.WriteDatabase(w, db) }
+
+// SaveDatabase writes db in the GRDB001 flat container format: an
+// offset-tabled, 8-byte-aligned binary layout that OpenDatabaseFile serves
+// zero-copy from a read-only mapping. Deterministic — the same database
+// always produces the same bytes.
+func SaveDatabase(w io.Writer, db *Database) error { return graph.SaveDatabase(w, db) }
+
+// OpenDatabaseFile opens a GRDB001 container previously written by
+// SaveDatabase. The file is memory-mapped (unless Options.DisableMmap is set
+// or the platform lacks support) and graph content is served zero-copy: the
+// open cost is independent of the corpus size and the heap retains only
+// per-graph handles materialized on demand. Structural validation of the
+// content is deferred — session creation, Insert, and Validate run it once on
+// first use — so a hostile file fails either at open (malformed layout) or on
+// the first validated access, never with undefined behavior. Graphs appended
+// afterwards live on the heap; the mapped prefix stays immutable. Call
+// Database.Close when no reads remain in flight to release the mapping.
+func OpenDatabaseFile(path string, opts ...Options) (*Database, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return graph.OpenDatabaseFile(path, o.DisableMmap)
+}
+
+// LoadDatabaseFile opens a database file of either supported format,
+// dispatching on content: files starting with the GRDB001 magic open through
+// OpenDatabaseFile (zero-copy mapping, O(1) open), anything else parses as
+// the text exchange format onto the heap. This is what the command-line
+// tools call, so a .grdb corpus drops into any -in flag that previously took
+// a text file.
+func LoadDatabaseFile(path string, opts ...Options) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var magic [8]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		f.Close()
+		return nil, err
+	}
+	if n == len(magic) && magic == graph.GRDBMagic {
+		f.Close()
+		return OpenDatabaseFile(path, opts...)
+	}
+	defer f.Close()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return graph.ReadDatabase(f)
+}
 
 // GenerateDataset builds one of the synthetic datasets emulating the paper's
 // corpora: "dud" (molecules), "dblp" (collaboration neighborhoods), or
@@ -807,6 +860,11 @@ func (e *Engine) TopKRepresentativeContext(ctx context.Context, q Query) (*Resul
 // databases where index construction does not pay off. The answer is
 // identical to TopKRepresentative.
 func (e *Engine) TopKRepresentativeExact(q Query) (*Result, error) {
+	// This path bypasses session creation, so settle a mapped database's
+	// deferred content validation here (cached after the first call).
+	if err := e.db.EnsureValid(); err != nil {
+		return nil, err
+	}
 	return core.BaselineGreedy(e.db, e.m, q)
 }
 
@@ -817,6 +875,9 @@ func (e *Engine) TopKRepresentativeExact(q Query) (*Result, error) {
 // Use when answer quality matters more than latency.
 func (e *Engine) TopKRepresentativePolished(q Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.db.EnsureValid(); err != nil {
 		return nil, err
 	}
 	rel := core.Relevant(e.db, q.Relevance)

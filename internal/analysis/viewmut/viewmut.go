@@ -69,7 +69,7 @@ func (*ViewHolder) String() string { return "ViewHolder" }
 // ScopePackages names the packages (by package name, so fixture stubs
 // qualify) whose functions are checked for mutations. Facts are derived
 // everywhere; only reporting is scoped — these are the packages that touch
-// v4 sections.
+// v4 index sections or GRDB001 corpus sections.
 var ScopePackages = map[string]bool{
 	"mmapfile": true,
 	"vantage":  true,
@@ -77,6 +77,7 @@ var ScopePackages = map[string]bool{
 	"ged":      true,
 	"nbindex":  true,
 	"shard":    true,
+	"graph":    true,
 	"graphrep": true,
 }
 

@@ -78,9 +78,9 @@ func (r *Result) CompressionRatio() float64 {
 // Relevant returns L_q: the IDs of the graphs classified relevant by q.
 func Relevant(db *graph.Database, q Relevance) []graph.ID {
 	var out []graph.ID
-	for _, g := range db.Graphs() {
-		if q(g.Features()) {
-			out = append(out, g.ID())
+	for i, n := 0, db.Len(); i < n; i++ {
+		if q(db.Features(graph.ID(i))) {
+			out = append(out, graph.ID(i))
 		}
 	}
 	return out
@@ -314,8 +314,8 @@ func TraditionalTopK(db *graph.Database, score Score, k int) []graph.ID {
 		s  float64
 	}
 	all := make([]scored, 0, db.Len())
-	for _, g := range db.Graphs() {
-		all = append(all, scored{g.ID(), score(g.Features())})
+	for i, n := 0, db.Len(); i < n; i++ {
+		all = append(all, scored{graph.ID(i), score(db.Features(graph.ID(i)))})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].s != all[j].s {
@@ -343,8 +343,8 @@ func FirstQuartileRelevance(db *graph.Database, dims []int) Relevance {
 		return func([]float64) bool { return false }
 	}
 	scores := make([]float64, db.Len())
-	for i, g := range db.Graphs() {
-		scores[i] = score(g.Features())
+	for i := range scores {
+		scores[i] = score(db.Features(graph.ID(i)))
 	}
 	sorted := append([]float64(nil), scores...)
 	sort.Float64s(sorted)

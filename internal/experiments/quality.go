@@ -45,8 +45,8 @@ func RunFig2a(w io.Writer, s Scale) error {
 func relevanceAtQuantile(fx *Fixture, q float64) core.Relevance {
 	score := core.DimensionScore(nil)
 	scores := make([]float64, fx.DB.Len())
-	for i, g := range fx.DB.Graphs() {
-		scores[i] = score(g.Features())
+	for i := range scores {
+		scores[i] = score(fx.DB.Features(graph.ID(i)))
 	}
 	cut := stats.Quantile(scores, q)
 	return func(f []float64) bool { return score(f) >= cut }

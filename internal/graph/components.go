@@ -23,10 +23,10 @@ func (g *Graph) Components() [][]int {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, v)
-			for _, h := range g.adj[v] {
-				if !seen[h.to] {
-					seen[h.to] = true
-					stack = append(stack, h.to)
+			for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+				if w := int(g.adjTo[i]); !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
 				}
 			}
 		}

@@ -6,21 +6,88 @@ import (
 	"sync/atomic"
 )
 
+// Store is the physical representation of a database prefix: the read API
+// every Database method goes through. Two implementations exist — heapStore
+// (graphs built in memory by the text loader, the generators, or NewDatabase)
+// and mappedStore (zero-copy views over a GRDB001 container, see grdb.go).
+// Consumers never see a Store directly; they hold a *Database, whose
+// copy-on-write snapshot pairs one immutable Store with a heap-resident tail
+// of appended graphs.
+type Store interface {
+	// Len returns the number of graphs in the store.
+	Len() int
+	// Graph returns the graph with the given id (0 ≤ id < Len). Heap stores
+	// return the resident graph; mapped stores materialize a small handle
+	// whose slices alias the mapping.
+	Graph(id ID) *Graph
+	// Features returns id's feature vector without materializing a handle.
+	Features(id ID) []float64
+	// FeatureDim returns the feature dimensionality (0 when empty).
+	FeatureDim() int
+	// EnsureValid runs the store's deferred O(n) content validation once and
+	// returns its cached verdict. Heap stores are validated by construction
+	// and return nil.
+	EnsureValid() error
+	// Close releases the store's backing resources (a mapping, if any).
+	Close() error
+	// Mapped reports whether graph content is served from a mapping rather
+	// than the heap.
+	Mapped() bool
+}
+
+// dbState is one atomic snapshot of a database: an immutable base store plus
+// the copy-on-write tail of graphs appended since open. The tail is the thaw
+// mechanism of the mapped path — appends land on the heap while the mapped
+// prefix stays untouched — and doubles as the publish unit that keeps
+// Append's atomic-snapshot semantics.
+type dbState struct {
+	base Store
+	tail []*Graph
+}
+
 // Database is an ordered collection of graphs. Graph IDs equal their position
 // in the collection; every index structure in this library addresses graphs
 // by ID.
 //
-// The collection is copy-on-write: Append publishes a fresh slice instead of
-// mutating the current one, so any number of readers may run concurrently
+// The collection is copy-on-write: Append publishes a fresh snapshot instead
+// of mutating the current one, so any number of readers may run concurrently
 // with one Append and each sees either the old or the new snapshot, never a
 // torn one. Concurrent Appends must still be serialized by the caller
 // (internal/server holds the last shard's write lock around each insert).
 type Database struct {
-	graphs atomic.Pointer[[]*Graph]
+	state atomic.Pointer[dbState]
 }
 
-// snapshot returns the current immutable graph slice.
-func (db *Database) snapshot() []*Graph { return *db.graphs.Load() }
+// snapshot returns the current immutable state.
+func (db *Database) snapshot() *dbState { return db.state.Load() }
+
+// heapStore serves graphs resident in memory: the text loader, the dataset
+// generators, and NewDatabase all produce one.
+type heapStore struct {
+	graphs []*Graph
+}
+
+func (s *heapStore) Len() int           { return len(s.graphs) }
+func (s *heapStore) Graph(id ID) *Graph { return s.graphs[id] }
+func (s *heapStore) Features(id ID) []float64 {
+	return s.graphs[id].features
+}
+func (s *heapStore) FeatureDim() int {
+	if len(s.graphs) == 0 {
+		return 0
+	}
+	return len(s.graphs[0].features)
+}
+func (s *heapStore) EnsureValid() error { return nil }
+func (s *heapStore) Close() error       { return nil }
+func (s *heapStore) Mapped() bool       { return false }
+
+// newDatabase wraps a base store in a Database with an empty tail.
+func newDatabase(base Store) *Database {
+	db := &Database{}
+	db.state.Store(&dbState{base: base})
+	return db
+}
 
 // NewDatabase assembles a database from graphs whose IDs must equal their
 // slice positions. The database takes ownership of the slice; the caller must
@@ -34,59 +101,118 @@ func NewDatabase(graphs []*Graph) (*Database, error) {
 			return nil, fmt.Errorf("graph: graph at position %d has id %d", i, g.ID())
 		}
 	}
-	db := &Database{}
-	db.graphs.Store(&graphs)
-	return db, nil
+	return newDatabase(&heapStore{graphs: graphs}), nil
 }
 
 // Len returns the number of graphs.
-func (db *Database) Len() int { return len(db.snapshot()) }
+func (db *Database) Len() int {
+	st := db.snapshot()
+	return st.base.Len() + len(st.tail)
+}
 
 // Append adds a graph to the end of the database. Its ID must equal the
 // current length and its feature dimensionality must match. Append copies the
-// graph slice and atomically publishes the copy, so it is safe to run
+// tail slice and atomically publishes a new snapshot, so it is safe to run
 // concurrently with readers; concurrent Appends must be serialized by the
-// caller.
+// caller. Appends onto a mapped database land on the heap — the mapped
+// prefix is immutable, exactly like a thawed index shard.
 func (db *Database) Append(g *Graph) error {
-	cur := db.snapshot()
+	st := db.snapshot()
+	n := st.base.Len() + len(st.tail)
 	if g == nil {
 		return fmt.Errorf("graph: nil graph")
 	}
-	if int(g.ID()) != len(cur) {
-		return fmt.Errorf("graph: appended graph has id %d, want %d", g.ID(), len(cur))
+	if int(g.ID()) != n {
+		return fmt.Errorf("graph: appended graph has id %d, want %d", g.ID(), n)
 	}
-	if len(cur) > 0 && len(g.Features()) != len(cur[0].Features()) {
-		return fmt.Errorf("graph: appended feature dim %d, want %d", len(g.Features()), len(cur[0].Features()))
+	if n > 0 && len(g.Features()) != db.FeatureDim() {
+		return fmt.Errorf("graph: appended feature dim %d, want %d", len(g.Features()), db.FeatureDim())
 	}
-	next := make([]*Graph, len(cur)+1)
-	copy(next, cur)
-	next[len(cur)] = g
-	db.graphs.Store(&next)
+	next := &dbState{base: st.base, tail: make([]*Graph, len(st.tail)+1)}
+	copy(next.tail, st.tail)
+	next.tail[len(st.tail)] = g
+	db.state.Store(next)
 	return nil
 }
 
 // Graph returns the graph with the given id.
-func (db *Database) Graph(id ID) *Graph { return db.snapshot()[id] }
+func (db *Database) Graph(id ID) *Graph {
+	st := db.snapshot()
+	if n := st.base.Len(); int(id) < n {
+		return st.base.Graph(id)
+	} else {
+		return st.tail[int(id)-n]
+	}
+}
 
-// Graphs returns the current snapshot slice. The caller must not modify it;
-// graphs appended later do not appear in it.
-func (db *Database) Graphs() []*Graph { return db.snapshot() }
+// Features returns id's feature vector — the read every relevance function
+// and score performs — without materializing a graph handle on the mapped
+// path. The caller must not modify the returned slice.
+func (db *Database) Features(id ID) []float64 {
+	st := db.snapshot()
+	if n := st.base.Len(); int(id) < n {
+		return st.base.Features(id)
+	} else {
+		return st.tail[int(id)-n].features
+	}
+}
+
+// Graphs returns a freshly assembled slice of every graph in the current
+// snapshot; graphs appended later do not appear in it. The caller must not
+// modify the graphs. Prefer Len/Graph/Features iteration on large databases:
+// on the mapped path Graphs materializes one handle per graph.
+func (db *Database) Graphs() []*Graph {
+	st := db.snapshot()
+	out := make([]*Graph, st.base.Len()+len(st.tail))
+	for i := 0; i < st.base.Len(); i++ {
+		out[i] = st.base.Graph(ID(i))
+	}
+	copy(out[st.base.Len():], st.tail)
+	return out
+}
 
 // FeatureDim returns the dimensionality of the feature vectors, or 0 for an
 // empty database. All graphs are expected to share one dimensionality.
 func (db *Database) FeatureDim() int {
-	g := db.snapshot()
-	if len(g) == 0 {
-		return 0
+	st := db.snapshot()
+	if st.base.Len() > 0 {
+		return st.base.FeatureDim()
 	}
-	return len(g[0].Features())
+	if len(st.tail) > 0 {
+		return len(st.tail[0].features)
+	}
+	return 0
 }
 
+// EnsureValid runs the deferred O(n) content validation of a mapped store
+// once (a sync.Once gate; later calls return the cached verdict) and is a
+// no-op for heap databases, whose content was validated at construction.
+// Session creation and Insert call it, so every indexed query path reads
+// validated content; callers that traverse graph structure without going
+// through the index (or the Validate method) should call it themselves after
+// OpenDatabaseFile.
+func (db *Database) EnsureValid() error { return db.snapshot().base.EnsureValid() }
+
+// Mapped reports whether the database prefix is served zero-copy from a
+// mapping (opened via OpenDatabaseFile) rather than the heap.
+func (db *Database) Mapped() bool { return db.snapshot().base.Mapped() }
+
+// Close releases the backing store — the file mapping, for a database opened
+// with OpenDatabaseFile. No reads may be in flight or issued afterwards:
+// graph handles alias the mapping being unmapped. Close is a no-op for heap
+// databases, and idempotent.
+func (db *Database) Close() error { return db.snapshot().base.Close() }
+
 // Validate checks structural invariants of the database: consistent feature
-// dimensionality and well-formed graphs.
+// dimensionality and well-formed graphs. For a mapped database the deferred
+// content validation runs first, so Validate subsumes EnsureValid.
 func (db *Database) Validate() error {
+	if err := db.EnsureValid(); err != nil {
+		return err
+	}
 	dim := db.FeatureDim()
-	for _, g := range db.snapshot() {
+	for i, n := 0, db.Len(); i < n; i++ {
+		g := db.Graph(ID(i))
 		if len(g.Features()) != dim {
 			return fmt.Errorf("graph %d: feature dim %d, want %d", g.ID(), len(g.Features()), dim)
 		}
@@ -117,10 +243,10 @@ type Stats struct {
 // Stats computes summary statistics over the database.
 func (db *Database) Stats() Stats {
 	var s Stats
-	graphs := db.snapshot()
-	s.Graphs = len(graphs)
+	s.Graphs = db.Len()
 	labels := make(map[Label]struct{})
-	for _, g := range graphs {
+	for i := 0; i < s.Graphs; i++ {
+		g := db.Graph(ID(i))
 		s.AvgNodes += float64(g.Order())
 		s.AvgEdges += float64(g.Size())
 		if g.Order() > s.MaxNodes {

@@ -20,8 +20,8 @@ import (
 // WriteDatabase writes db in the text format.
 func WriteDatabase(w io.Writer, db *Database) error {
 	bw := bufio.NewWriter(w)
-	for _, g := range db.snapshot() {
-		if err := writeGraph(bw, g); err != nil {
+	for i, n := 0, db.Len(); i < n; i++ {
+		if err := writeGraph(bw, db.Graph(ID(i))); err != nil {
 			return err
 		}
 	}
@@ -37,7 +37,7 @@ func writeGraph(w *bufio.Writer, g *Graph) error {
 		fmt.Fprintf(w, " %d", l)
 	}
 	w.WriteByte('\n')
-	for _, e := range g.edges {
+	for _, e := range g.Edges() {
 		fmt.Fprintf(w, "e %d %d %d\n", e.U, e.V, e.Label)
 	}
 	if len(g.features) > 0 {

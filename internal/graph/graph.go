@@ -5,7 +5,10 @@
 //
 // Graphs are immutable once built (see Builder); immutability makes them safe
 // to share between indexes, caches, and concurrent query workers without
-// copying.
+// copying. The adjacency is stored in CSR form (offset table plus flat
+// neighbor/label arrays), which is both the compact heap layout and, for
+// databases opened from a GRDB001 container, a set of zero-copy views over a
+// read-only mapping — one Graph value reads identically either way.
 package graph
 
 import (
@@ -25,28 +28,38 @@ type Edge struct {
 
 // Graph is an immutable labelled undirected graph tagged with a feature
 // vector. Construct graphs with a Builder or one of the dataset generators.
+//
+// The adjacency is CSR: vertex v's incident half-edges occupy
+// adjTo[adjOff[v]:adjOff[v+1]] (graph-local neighbor indices, ascending) with
+// matching edge labels in adjLabel. Offsets are absolute indices into
+// adjTo/adjLabel, not rebased per graph: a heap-built graph starts at
+// adjOff[0] == 0 and owns exactly its own halves, while a graph served from a
+// mapped database slices its offset row out of the file-global offset table
+// and shares the file-global adjTo/adjLabel arrays. Every method indexes
+// through adjOff, so it cannot tell the difference.
 type Graph struct {
-	id       ID
-	labels   []Label   // vertex labels, indexed by vertex
-	edges    []Edge    // normalized: U < V, sorted by (U, V)
-	adj      [][]half  // adjacency lists, indexed by vertex
+	id     ID
+	labels []Label // vertex labels, indexed by vertex
+	// adjOff has Order()+1 entries: absolute half-edge bounds per vertex.
+	adjOff   []uint64
+	adjTo    []int32   // neighbor vertex (graph-local), ascending per row
+	adjLabel []Label   // connecting edge label, parallel to adjTo
 	features []float64 // feature vector the relevance function sees
 }
 
 // ID uniquely identifies a graph within a Database.
 type ID int32
 
-// half is one direction of an undirected edge as stored in adjacency lists.
-type half struct {
-	to    int
-	label Label
-}
-
 // Order returns the number of vertices.
 func (g *Graph) Order() int { return len(g.labels) }
 
 // Size returns the number of edges.
-func (g *Graph) Size() int { return len(g.edges) }
+func (g *Graph) Size() int {
+	if len(g.adjOff) == 0 {
+		return 0
+	}
+	return int(g.adjOff[len(g.adjOff)-1]-g.adjOff[0]) / 2
+}
 
 // ID returns the graph's database identifier.
 func (g *Graph) ID() ID { return g.id }
@@ -55,32 +68,45 @@ func (g *Graph) ID() ID { return g.id }
 func (g *Graph) VertexLabel(v int) Label { return g.labels[v] }
 
 // VertexLabels returns the slice of all vertex labels. The caller must not
-// modify the returned slice.
+// modify the returned slice: for a mapped database it aliases the read-only
+// mapping.
 func (g *Graph) VertexLabels() []Label { return g.labels }
 
-// Edges returns the normalized edge list (U < V, sorted). The caller must not
-// modify the returned slice.
-func (g *Graph) Edges() []Edge { return g.edges }
+// Edges returns the normalized edge list (U < V, sorted by (U, V)). The list
+// is derived from the CSR adjacency on every call, so callers on hot paths
+// should iterate Neighbors instead; the returned slice is the caller's own.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.Size())
+	for v := 0; v < g.Order(); v++ {
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			if w := int(g.adjTo[i]); w > v {
+				edges = append(edges, Edge{U: v, V: w, Label: g.adjLabel[i]})
+			}
+		}
+	}
+	return edges
+}
 
 // Features returns the graph's feature vector. The caller must not modify the
 // returned slice.
 func (g *Graph) Features() []float64 { return g.features }
 
 // Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.adjOff[v+1] - g.adjOff[v]) }
 
-// Neighbors calls fn for every neighbor of v with the connecting edge label.
+// Neighbors calls fn for every neighbor of v (ascending) with the connecting
+// edge label.
 func (g *Graph) Neighbors(v int, fn func(w int, l Label)) {
-	for _, h := range g.adj[v] {
-		fn(h.to, h.label)
+	for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+		fn(int(g.adjTo[i]), g.adjLabel[i])
 	}
 }
 
 // EdgeLabel returns the label of edge (u,v) and whether the edge exists.
 func (g *Graph) EdgeLabel(u, v int) (Label, bool) {
-	for _, h := range g.adj[u] {
-		if h.to == v {
-			return h.label, true
+	for i := g.adjOff[u]; i < g.adjOff[u+1]; i++ {
+		if int(g.adjTo[i]) == v {
+			return g.adjLabel[i], true
 		}
 	}
 	return 0, false
@@ -109,8 +135,12 @@ func (g *Graph) LabelHistogram() map[Label]int {
 // EdgeLabelHistogram returns label -> count over edges.
 func (g *Graph) EdgeLabelHistogram() map[Label]int {
 	h := make(map[Label]int, 8)
-	for _, e := range g.edges {
-		h[e.Label]++
+	for v := 0; v < g.Order(); v++ {
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			if int(g.adjTo[i]) > v {
+				h[g.adjLabel[i]]++
+			}
+		}
 	}
 	return h
 }
@@ -177,18 +207,36 @@ func (b *Builder) Build(id ID) (*Graph, error) {
 			return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", edges[i].U, edges[i].V)
 		}
 	}
-	g := &Graph{
+	n := len(b.labels)
+	adjOff := make([]uint64, n+1)
+	for _, e := range edges {
+		adjOff[e.U+1]++
+		adjOff[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		adjOff[v+1] += adjOff[v]
+	}
+	adjTo := make([]int32, 2*len(edges))
+	adjLabel := make([]Label, 2*len(edges))
+	cur := append([]uint64(nil), adjOff[:n]...)
+	// Filling rows in sorted-edge order leaves every row ascending: vertex
+	// v first receives its lower neighbors (edges where it is V, U ascending
+	// through the sort) and then its higher neighbors (edges where it is U,
+	// V ascending).
+	for _, e := range edges {
+		adjTo[cur[e.U]], adjLabel[cur[e.U]] = int32(e.V), e.Label
+		cur[e.U]++
+		adjTo[cur[e.V]], adjLabel[cur[e.V]] = int32(e.U), e.Label
+		cur[e.V]++
+	}
+	return &Graph{
 		id:       id,
 		labels:   append([]Label(nil), b.labels...),
-		edges:    edges,
-		adj:      make([][]half, len(b.labels)),
+		adjOff:   adjOff,
+		adjTo:    adjTo,
+		adjLabel: adjLabel,
 		features: b.features,
-	}
-	for _, e := range edges {
-		g.adj[e.U] = append(g.adj[e.U], half{to: e.V, label: e.Label})
-		g.adj[e.V] = append(g.adj[e.V], half{to: e.U, label: e.Label})
-	}
-	return g, nil
+	}, nil
 }
 
 // MustBuild is Build that panics on error; intended for tests and literals.
@@ -205,7 +253,7 @@ func (b *Builder) MustBuild(id ID) *Graph {
 func (g *Graph) Clone(id ID) *Builder {
 	b := NewBuilder(g.Order())
 	b.labels = append(b.labels, g.labels...)
-	b.edges = append(b.edges, g.edges...)
+	b.edges = append(b.edges, g.Edges()...)
 	b.features = append([]float64(nil), g.features...)
 	_ = id // id is assigned at Build time by the caller
 	return b

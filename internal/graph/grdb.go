@@ -1,0 +1,507 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"graphrep/internal/mmapfile"
+)
+
+// Format GRDB001: the zero-copy graph container, the corpus-side sibling of
+// the NBIDX004 index container. Where the text format parses every graph into
+// heap-resident CSR slices, a GRDB001 file is a flat offset-tabled layout
+// readable in place from a byte slice — typically a memory mapping — so
+// opening a database costs O(header + directory), not O(corpus), and graph
+// content stays in the page cache, shared across processes serving one file.
+//
+//	header     magic "GRDB001\0" | u64 sectionCount | u64 fileSize
+//	directory  sectionCount × { u32 kind | u32 reserved | u64 off | u64 len }
+//	sections   raw little-endian arrays, each 8-byte aligned, zero-padded
+//
+// The sections form one database-wide CSR: a per-graph vertex offset table
+// into global label/adjacency-offset arrays, and a global half-edge array the
+// adjacency offsets index. A Graph handle materialized from the container is
+// three subslices plus two shared slices — no decoding, no copying.
+const (
+	grdbMeta     = 1 // u64 ×4: graphCount, featureDim, totalVertices, totalHalves
+	grdbVtxOff   = 2 // u64 graphCount+1: graph -> first vertex, prefix sums
+	grdbAdjOff   = 3 // u64 totalVertices+1: vertex -> first half-edge, prefix sums
+	grdbLabels   = 4 // u32 totalVertices: vertex labels
+	grdbAdjTo    = 5 // i32 totalHalves: neighbor (graph-local vertex index)
+	grdbAdjLabel = 6 // u32 totalHalves: connecting edge label
+	grdbFeatures = 7 // f64 graphCount×featureDim, row-major
+)
+
+// GRDBMagic is the 8-byte magic prefix of a GRDB001 container, exported so
+// CLI loaders can sniff the format.
+var GRDBMagic = [8]byte{'G', 'R', 'D', 'B', '0', '0', '1', 0}
+
+const (
+	grdbHeaderLen   = 24
+	grdbDirEntryLen = 24
+)
+
+func grdbPad8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// grdbSection is one directory entry during encoding, paired with the
+// function that writes its body.
+type grdbSection struct {
+	kind   uint32
+	length uint64
+	write  func(w io.Writer) error
+}
+
+// grdbWriteLE returns a section body writer emitting v in little-endian —
+// the single choke point for array sections, so the writer never touches
+// unsafe.
+func grdbWriteLE(v any) func(io.Writer) error {
+	return func(w io.Writer) error { return binary.Write(w, binary.LittleEndian, v) }
+}
+
+// SaveDatabase persists db in the GRDB001 zero-copy layout. Output bytes are
+// a pure function of the database contents: sections are emitted in a fixed
+// order, offsets are derived deterministically, and padding is zero — so the
+// same corpus always produces the same file, byte for byte, whether it was
+// text-loaded, generated, or itself mapped.
+func SaveDatabase(w io.Writer, db *Database) error {
+	n := db.Len()
+	dim := db.FeatureDim()
+	vtxOff := make([]uint64, n+1)
+	var adjOff []uint64
+	var labels []Label
+	var adjTo []int32
+	var adjLabel []Label
+	features := make([]float64, 0, n*dim)
+	adjOff = append(adjOff, 0)
+	for i := 0; i < n; i++ {
+		g := db.Graph(ID(i))
+		if len(g.Features()) != dim {
+			return fmt.Errorf("graph: graph %d has feature dim %d, want %d", i, len(g.Features()), dim)
+		}
+		vtxOff[i+1] = vtxOff[i] + uint64(g.Order())
+		labels = append(labels, g.labels...)
+		base := adjOff[len(adjOff)-1]
+		for v := 0; v < g.Order(); v++ {
+			// Rebase the graph's absolute offsets (mapped handles carry
+			// file-global values) onto this file's half-edge array.
+			adjOff = append(adjOff, base+(g.adjOff[v+1]-g.adjOff[0]))
+		}
+		adjTo = append(adjTo, g.adjTo[g.adjOff[0]:g.adjOff[g.Order()]]...)
+		adjLabel = append(adjLabel, g.adjLabel[g.adjOff[0]:g.adjOff[g.Order()]]...)
+		features = append(features, g.Features()...)
+	}
+
+	meta := []uint64{uint64(n), uint64(dim), vtxOff[n], uint64(len(adjTo))}
+	sections := []grdbSection{
+		{grdbMeta, uint64(8 * len(meta)), grdbWriteLE(meta)},
+		{grdbVtxOff, uint64(8 * len(vtxOff)), grdbWriteLE(vtxOff)},
+		{grdbAdjOff, uint64(8 * len(adjOff)), grdbWriteLE(adjOff)},
+		{grdbLabels, uint64(4 * len(labels)), grdbWriteLE(labels)},
+		{grdbAdjTo, uint64(4 * len(adjTo)), grdbWriteLE(adjTo)},
+		{grdbAdjLabel, uint64(4 * len(adjLabel)), grdbWriteLE(adjLabel)},
+		{grdbFeatures, uint64(8 * len(features)), grdbWriteLE(features)},
+	}
+
+	off := uint64(grdbHeaderLen + grdbDirEntryLen*len(sections))
+	offs := make([]uint64, len(sections))
+	for i, sec := range sections {
+		off = grdbPad8(off)
+		offs[i] = off
+		off += sec.length
+	}
+	fileSize := grdbPad8(off)
+
+	var hdr [grdbHeaderLen]byte
+	copy(hdr[:8], GRDBMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(sections)))
+	binary.LittleEndian.PutUint64(hdr[16:], fileSize)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var ent [grdbDirEntryLen]byte
+	for i, sec := range sections {
+		binary.LittleEndian.PutUint32(ent[0:], sec.kind)
+		binary.LittleEndian.PutUint32(ent[4:], 0)
+		binary.LittleEndian.PutUint64(ent[8:], offs[i])
+		binary.LittleEndian.PutUint64(ent[16:], sec.length)
+		if _, err := w.Write(ent[:]); err != nil {
+			return err
+		}
+	}
+	var zeros [8]byte
+	pos := uint64(grdbHeaderLen + grdbDirEntryLen*len(sections))
+	for i, sec := range sections {
+		if p := offs[i] - pos; p > 0 {
+			if _, err := w.Write(zeros[:p]); err != nil {
+				return err
+			}
+		}
+		if err := sec.write(w); err != nil {
+			return fmt.Errorf("graph: write section kind %d: %w", sec.kind, err)
+		}
+		pos = offs[i] + sec.length
+	}
+	if p := fileSize - pos; p > 0 {
+		if _, err := w.Write(zeros[:p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// grdbDir is the parsed directory: section lookup by kind.
+type grdbDir struct {
+	secs map[uint32][]byte
+}
+
+func (d *grdbDir) section(kind uint32) ([]byte, error) {
+	b, ok := d.secs[kind]
+	if !ok {
+		return nil, fmt.Errorf("graph: GRDB container is missing section kind %d", kind)
+	}
+	return b, nil
+}
+
+// parseGRDB validates the header and directory of a GRDB001 container:
+// magic, file size, per-entry alignment and bounds (overflow-safe), no
+// duplicate kinds, and no overlapping sections. Section bodies are NOT
+// examined — that is the store constructor's and EnsureValid's job — but
+// after parseGRDB every section slice is guaranteed to lie inside data.
+func parseGRDB(data []byte) (*grdbDir, error) {
+	if len(data) < grdbHeaderLen {
+		return nil, fmt.Errorf("graph: GRDB container of %d bytes is shorter than the header", len(data))
+	}
+	if [8]byte(data[:8]) != GRDBMagic {
+		return nil, fmt.Errorf("graph: bad GRDB magic %q", data[:8])
+	}
+	count := binary.LittleEndian.Uint64(data[8:])
+	fileSize := binary.LittleEndian.Uint64(data[16:])
+	if fileSize != uint64(len(data)) {
+		return nil, fmt.Errorf("graph: GRDB header declares %d bytes, file has %d", fileSize, len(data))
+	}
+	if count == 0 || count > uint64(len(data)-grdbHeaderLen)/grdbDirEntryLen {
+		return nil, fmt.Errorf("graph: implausible GRDB section count %d for %d bytes", count, len(data))
+	}
+	dirEnd := uint64(grdbHeaderLen) + count*grdbDirEntryLen
+	d := &grdbDir{secs: make(map[uint32][]byte, count)}
+	type span struct{ off, end uint64 }
+	spans := make([]span, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ent := data[grdbHeaderLen+i*grdbDirEntryLen:]
+		kind := binary.LittleEndian.Uint32(ent[0:])
+		off := binary.LittleEndian.Uint64(ent[8:])
+		length := binary.LittleEndian.Uint64(ent[16:])
+		if off%8 != 0 {
+			return nil, fmt.Errorf("graph: GRDB section %d (kind %d) at unaligned offset %d", i, kind, off)
+		}
+		if off < dirEnd || off > fileSize || length > fileSize-off {
+			return nil, fmt.Errorf("graph: GRDB section %d (kind %d) spans [%d, %d+%d) outside the file",
+				i, kind, off, off, length)
+		}
+		if _, dup := d.secs[kind]; dup {
+			return nil, fmt.Errorf("graph: GRDB container has duplicate section kind %d", kind)
+		}
+		d.secs[kind] = data[off : off+length : off+length]
+		spans = append(spans, span{off: off, end: off + length})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].off < spans[i-1].end {
+			return nil, fmt.Errorf("graph: GRDB sections overlap at offset %d", spans[i].off)
+		}
+	}
+	return d, nil
+}
+
+// grdbView builds a typed view over one section, naming the section on error.
+func grdbView[T mmapfile.Scalar](d *grdbDir, kind uint32) ([]T, error) {
+	b, err := d.section(kind)
+	if err != nil {
+		return nil, err
+	}
+	v, err := mmapfile.View[T](b)
+	if err != nil {
+		return nil, fmt.Errorf("graph: GRDB section kind %d: %w", kind, err)
+	}
+	return v, nil
+}
+
+// mappedStore serves graphs as zero-copy views over a GRDB001 image. Opening
+// one runs only the O(1) shape checks below; the O(corpus) content scan
+// (offset monotonicity, neighbor ranges, mirror-edge consistency, finite
+// features) defers to EnsureValid — a sync.Once the session-creation and
+// Insert paths trigger — which is what keeps open time flat in corpus size.
+type mappedStore struct {
+	f   *mmapfile.File // backing image; nil when built from foreign bytes
+	n   int            // graph count
+	dim int            // feature dimensionality
+	// The CSR sections. Cross-section length couplings and endpoint values
+	// are checked at open; interior offset values are content the deferred
+	// scan bounds before anything indexes through them.
+
+	// vtxOff maps graph -> first vertex; interior values are
+	// validated by EnsureValid (nondecreasing, 32-bit orders).
+	vtxOff []uint64
+	// adjOff maps vertex -> first half-edge; interior values are
+	// validated by EnsureValid (nondecreasing, every row inside adjTo).
+	adjOff   []uint64
+	labels   []Label
+	adjTo    []int32
+	adjLabel []Label
+	features []float64
+
+	validateOnce sync.Once
+	validateErr  error
+}
+
+// OpenDatabaseBytes opens a GRDB001 image already resident in memory. The
+// returned database serves graph content as views over data, so data must
+// stay alive and unmodified for the database's lifetime. Close is a no-op.
+func OpenDatabaseBytes(data []byte) (*Database, error) {
+	s, err := newMappedStore(data, nil)
+	if err != nil {
+		return nil, err
+	}
+	return newDatabase(s), nil
+}
+
+// OpenDatabaseFile opens a GRDB001 container written by SaveDatabase,
+// memory-mapping it unless disableMmap is set (or the platform lacks mmap, or
+// GRAPHREP_DISABLE_MMAP is set), and serving every graph zero-copy from the
+// mapping. Open cost is O(1) in the corpus size: only the header, directory,
+// and section shape are checked here, and the deferred content validation
+// (EnsureValid) runs once on first indexed use. Call Database.Close when done
+// to release the mapping — after no reads remain in flight.
+func OpenDatabaseFile(path string, disableMmap bool) (*Database, error) {
+	var f *mmapfile.File
+	var err error
+	if disableMmap {
+		f, err = mmapfile.OpenReadAll(path)
+	} else {
+		f, err = mmapfile.Open(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s, err := newMappedStore(f.Bytes(), f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newDatabase(s), nil
+}
+
+// newMappedStore parses the container and runs the O(1) shape checks: every
+// section present and typed, lengths coupled to the meta counts, and the
+// offset-table endpoints equal to those counts. Interior offsets, neighbors,
+// labels, and features are content — EnsureValid's job.
+func newMappedStore(data []byte, f *mmapfile.File) (*mappedStore, error) {
+	d, err := parseGRDB(data)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := grdbView[uint64](d, grdbMeta)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) != 4 {
+		return nil, fmt.Errorf("graph: GRDB meta has %d entries, want 4", len(meta))
+	}
+	gc, dim, totalV, totalH := meta[0], meta[1], meta[2], meta[3]
+	if gc > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("graph: GRDB declares %d graphs; IDs are 32-bit", gc)
+	}
+	if dim > 1<<20 {
+		return nil, fmt.Errorf("graph: implausible GRDB feature dim %d", dim)
+	}
+	// Every count must be backed by section bytes, so the length couplings
+	// below also bound gc/totalV/totalH by the file size.
+	vtxOff, err := grdbView[uint64](d, grdbVtxOff)
+	if err != nil {
+		return nil, err
+	}
+	adjOff, err := grdbView[uint64](d, grdbAdjOff)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := grdbView[Label](d, grdbLabels)
+	if err != nil {
+		return nil, err
+	}
+	adjTo, err := grdbView[int32](d, grdbAdjTo)
+	if err != nil {
+		return nil, err
+	}
+	adjLabel, err := grdbView[Label](d, grdbAdjLabel)
+	if err != nil {
+		return nil, err
+	}
+	features, err := grdbView[float64](d, grdbFeatures)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(vtxOff)) != gc+1 {
+		return nil, fmt.Errorf("graph: GRDB vertex offsets have %d entries for %d graphs", len(vtxOff), gc)
+	}
+	if uint64(len(adjOff)) != totalV+1 {
+		return nil, fmt.Errorf("graph: GRDB adjacency offsets have %d entries for %d vertices", len(adjOff), totalV)
+	}
+	if uint64(len(labels)) != totalV {
+		return nil, fmt.Errorf("graph: GRDB labels cover %d vertices, meta declares %d", len(labels), totalV)
+	}
+	if uint64(len(adjTo)) != totalH || uint64(len(adjLabel)) != totalH {
+		return nil, fmt.Errorf("graph: GRDB adjacency covers %d/%d halves, meta declares %d",
+			len(adjTo), len(adjLabel), totalH)
+	}
+	if totalH%2 != 0 {
+		return nil, fmt.Errorf("graph: GRDB half-edge count %d is odd", totalH)
+	}
+	if uint64(len(features)) != gc*dim {
+		return nil, fmt.Errorf("graph: GRDB features cover %d values for %d graphs × dim %d",
+			len(features), gc, dim)
+	}
+	if vtxOff[0] != 0 || vtxOff[gc] != totalV {
+		return nil, fmt.Errorf("graph: GRDB vertex offsets span [%d, %d], want [0, %d]",
+			vtxOff[0], vtxOff[gc], totalV)
+	}
+	if adjOff[0] != 0 || adjOff[totalV] != totalH {
+		return nil, fmt.Errorf("graph: GRDB adjacency offsets span [%d, %d], want [0, %d]",
+			adjOff[0], adjOff[totalV], totalH)
+	}
+	return &mappedStore{
+		f: f, n: int(gc), dim: int(dim),
+		vtxOff: vtxOff, adjOff: adjOff, labels: labels,
+		adjTo: adjTo, adjLabel: adjLabel, features: features,
+	}, nil
+}
+
+func (s *mappedStore) Len() int        { return s.n }
+func (s *mappedStore) FeatureDim() int { return s.dim }
+func (s *mappedStore) Mapped() bool    { return s.f != nil && s.f.Mapped() }
+
+// Graph materializes a handle for id: three subslices of the mapped sections
+// plus the two shared half-edge arrays — O(1) time and a small constant of
+// heap, independent of the graph's size, with no content copied off the
+// mapping. Handles are not cached: the store's heap retention stays a small
+// constant rather than O(corpus), which is the point of the mapped path.
+func (s *mappedStore) Graph(id ID) *Graph {
+	lo := s.vtxOff[id]   //lint:allow oncevalid sessions, Insert, and Validate run EnsureValid before any graph access
+	hi := s.vtxOff[id+1] //lint:allow oncevalid sessions, Insert, and Validate run EnsureValid before any graph access
+	g := &Graph{
+		id:       id,
+		labels:   s.labels[lo:hi:hi],
+		adjOff:   s.adjOff[lo : hi+1 : hi+1],
+		adjTo:    s.adjTo[:len(s.adjTo):len(s.adjTo)],
+		adjLabel: s.adjLabel[:len(s.adjLabel):len(s.adjLabel)],
+	}
+	if s.dim > 0 {
+		f := uint64(id) * uint64(s.dim)
+		g.features = s.features[f : f+uint64(s.dim) : f+uint64(s.dim)]
+	}
+	return g
+}
+
+func (s *mappedStore) Features(id ID) []float64 {
+	if s.dim == 0 {
+		return nil
+	}
+	f := uint64(id) * uint64(s.dim)
+	return s.features[f : f+uint64(s.dim) : f+uint64(s.dim)]
+}
+
+func (s *mappedStore) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Close()
+}
+
+// EnsureValid runs the deferred O(corpus) content scan exactly once and
+// caches the verdict: offset tables nondecreasing (with per-graph orders
+// fitting the 32-bit neighbor encoding), every adjacency row strictly
+// ascending within [0, order) with no self-loops, every half-edge mirrored
+// with an equal label on the other endpoint, and every feature finite. After
+// a nil return, every Graph method on every handle is panic-free: all
+// indexing is through values this scan bounded.
+func (s *mappedStore) EnsureValid() error {
+	s.validateOnce.Do(func() { s.validateErr = s.validate() })
+	return s.validateErr
+}
+
+// validate is EnsureValid's single-run body.
+func (s *mappedStore) validate() error {
+	// Monotone offset tables first: with the endpoint equalities checked at
+	// open, nondecreasing offsets bound every interior value, so the scans
+	// below (and every Graph handle afterwards) index in range.
+	for i := 0; i+1 < len(s.vtxOff); i++ {
+		if s.vtxOff[i] > s.vtxOff[i+1] {
+			return fmt.Errorf("graph: GRDB vertex offsets decrease at graph %d", i)
+		}
+	}
+	for i := 0; i+1 < len(s.adjOff); i++ {
+		if s.adjOff[i] > s.adjOff[i+1] {
+			return fmt.Errorf("graph: GRDB adjacency offsets decrease at vertex %d", i)
+		}
+	}
+	// Every half whose neighbor is the lower endpoint is matched (by binary
+	// search) against a distinct higher-neighbor half in the mirror row; the
+	// count equality below then makes that injection a bijection, so no
+	// unmirrored half of either orientation survives.
+	var lowHalves, highHalves uint64
+	for i := 0; i < s.n; i++ {
+		lo, hi := s.vtxOff[i], s.vtxOff[i+1]
+		if hi-lo > uint64(math.MaxInt32) {
+			return fmt.Errorf("graph: GRDB graph %d has %d vertices; orders are 32-bit", i, hi-lo)
+		}
+		order := int64(hi - lo)
+		for v := lo; v < hi; v++ {
+			local := int64(v - lo)
+			prev := int64(-1)
+			for j := s.adjOff[v]; j < s.adjOff[v+1]; j++ {
+				w := int64(s.adjTo[j])
+				if w < 0 || w >= order {
+					return fmt.Errorf("graph: GRDB graph %d vertex %d has neighbor %d outside [0, %d)", i, local, w, order)
+				}
+				if w == local {
+					return fmt.Errorf("graph: GRDB graph %d has a self-loop on vertex %d", i, local)
+				}
+				if w <= prev {
+					return fmt.Errorf("graph: GRDB graph %d vertex %d has non-ascending neighbor %d", i, local, w)
+				}
+				prev = w
+				if w > local {
+					highHalves++
+					continue // verified from the lower endpoint's half
+				}
+				lowHalves++
+				// Mirror check: the reverse half (w -> local) must exist with
+				// the same label. Rows are ascending, so binary search.
+				gw := lo + uint64(w)
+				mLo := s.adjOff[gw]
+				row := s.adjTo[mLo:s.adjOff[gw+1]]
+				k := sort.Search(len(row), func(k int) bool { return int64(row[k]) >= local })
+				if k == len(row) || int64(row[k]) != local {
+					return fmt.Errorf("graph: GRDB graph %d edge (%d,%d) has no mirror half", i, w, local)
+				}
+				if s.adjLabel[mLo+uint64(k)] != s.adjLabel[j] {
+					return fmt.Errorf("graph: GRDB graph %d edge (%d,%d) has mismatched labels %d/%d",
+						i, w, local, s.adjLabel[mLo+uint64(k)], s.adjLabel[j])
+				}
+			}
+		}
+	}
+	if lowHalves != highHalves {
+		return fmt.Errorf("graph: GRDB adjacency has %d lower and %d higher halves; every edge needs one of each",
+			lowHalves, highHalves)
+	}
+	for i, f := range s.features {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("graph: GRDB graph %d has non-finite feature %v", i/s.dim, f)
+		}
+	}
+	return nil
+}

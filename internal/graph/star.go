@@ -27,9 +27,9 @@ func (s Star) Degree() int { return len(s.Spokes) }
 func (g *Graph) Stars() []Star {
 	stars := make([]Star, g.Order())
 	for v := 0; v < g.Order(); v++ {
-		st := Star{Center: g.labels[v], Spokes: make([]Spoke, 0, len(g.adj[v]))}
-		for _, h := range g.adj[v] {
-			st.Spokes = append(st.Spokes, Spoke{EdgeLabel: h.label, LeafLabel: g.labels[h.to]})
+		st := Star{Center: g.labels[v], Spokes: make([]Spoke, 0, g.Degree(v))}
+		for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+			st.Spokes = append(st.Spokes, Spoke{EdgeLabel: g.adjLabel[i], LeafLabel: g.labels[g.adjTo[i]]})
 		}
 		sort.Slice(st.Spokes, func(i, j int) bool {
 			if st.Spokes[i].EdgeLabel != st.Spokes[j].EdgeLabel {

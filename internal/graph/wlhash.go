@@ -26,8 +26,8 @@ func (g *Graph) WLHash(rounds int) uint64 {
 	for r := 0; r < rounds; r++ {
 		for v := 0; v < n; v++ {
 			neigh = neigh[:0]
-			for _, h := range g.adj[v] {
-				neigh = append(neigh, mix(cur[h.to]^(uint64(h.label)+0x517cc1b727220a95)))
+			for i := g.adjOff[v]; i < g.adjOff[v+1]; i++ {
+				neigh = append(neigh, mix(cur[g.adjTo[i]]^(uint64(g.adjLabel[i])+0x517cc1b727220a95)))
 			}
 			sort.Slice(neigh, func(i, j int) bool { return neigh[i] < neigh[j] })
 			acc := cur[v]

@@ -42,6 +42,12 @@ func (s *Set) NewSession(q core.Relevance) (QuerySession, error) {
 // returns the plain nbindex session (identical behavior and stats to the
 // unsharded engine); with more it returns the scatter-gather coordinator.
 func (s *Set) NewSessionContext(ctx context.Context, q core.Relevance) (QuerySession, error) {
+	// A database opened from a GRDB001 container defers its content
+	// validation to first use; settle it before any session traverses graph
+	// structure. Repeat sessions hit the cached verdict.
+	if err := s.db.EnsureValid(); err != nil {
+		return nil, fmt.Errorf("shard: graph store: %w", err)
+	}
 	if len(s.parts) == 1 {
 		return s.parts[0].NewSessionContext(ctx, q)
 	}
@@ -148,16 +154,23 @@ func (s *coordSession) TopK(theta float64, k int) (*core.Result, error) {
 	return s.TopKContext(context.Background(), theta, k)
 }
 
-// TopKContext runs the search-and-update phase across every shard tree: one
-// best-first search over the merged forest, where a candidate's upper bound
-// comes from its global π̂ row (the sum of shard-local π̂ bounds) and its
-// exact marginal gain sums shard-local coverage contributions — each shard
-// computes N_θ(g) ∩ shard with its own vantage ordering. Bounds are
-// admissible and every candidate whose bound reaches the best verified gain
-// is verified, so the pick is the exact greedy argmax with ties toward the
-// lower graph ID — the same answer as the unsharded engine, for any shard
-// count. Cancellation mirrors nbindex: checked on entry, at every greedy
-// pick, and periodically inside the search.
+// TopKContext runs the search-and-update phase across every shard tree. Each
+// greedy pick advances the per-shard frontiers in parallel on the worker
+// pool — every shard enumerates its positive-bound candidate leaves from its
+// own tree, independently of the others — then merges them into one list
+// ordered by (bound desc, shard, node) and verifies serially down that list.
+// A candidate's upper bound comes from its global π̂ row (the sum of
+// shard-local π̂ bounds) and its exact marginal gain sums shard-local
+// coverage contributions — each shard computes N_θ(g) ∩ shard with its own
+// vantage ordering, and those read-only scans also run on the pool. Bounds
+// are admissible and every candidate whose bound reaches the best verified
+// gain is verified, so the pick is the exact greedy argmax with ties toward
+// the lower graph ID — the same answer as the unsharded engine, for any
+// shard count and any worker count (the threshold tests that consult mutable
+// metric state stay serial in list order, so QueryStats are
+// worker-independent too). Cancellation mirrors nbindex: checked on entry,
+// at every greedy pick, before every verification, and inside every pool
+// fan-out.
 func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*core.Result, error) {
 	if math.IsNaN(theta) {
 		return nil, fmt.Errorf("shard: theta is NaN")
@@ -204,32 +217,33 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 	sub := make([][]int32, len(parts))
 	F := make([][]int32, len(parts))
 	for p, part := range parts {
-		f := part.Flat()
-		flats[p] = f
-		sub[p] = make([]int32, f.Len())
-		F[p] = make([]int32, f.Len())
-		for i := int32(f.Len() - 1); i >= 0; i-- {
-			if f.Leaf(i) {
-				F[p][i] = leafBound(p, int(i))
-				continue
-			}
-			best := int32(-1)
-			for c := f.FirstChild[i]; c != -1; c = f.NextSibling[c] {
-				if F[p][c] > best {
-					best = F[p][c]
+		flats[p] = part.Flat()
+	}
+	// Each shard's bound arrays are filled independently from its own tree,
+	// so the fills run on the worker pool; every iteration writes only its
+	// own slots, keeping the arrays identical for any worker count.
+	if err := pool.Ranges(ctx, len(parts), s.set.workers, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			f := flats[p]
+			sub[p] = make([]int32, f.Len())
+			F[p] = make([]int32, f.Len())
+			for i := int32(f.Len() - 1); i >= 0; i-- {
+				if f.Leaf(i) {
+					F[p][i] = leafBound(p, int(i))
+					continue
 				}
+				best := int32(-1)
+				for c := f.FirstChild[i]; c != -1; c = f.NextSibling[c] {
+					if F[p][c] > best {
+						best = F[p][c]
+					}
+				}
+				F[p][i] = best
 			}
-			F[p][i] = best
 		}
+	}); err != nil {
+		return nil, err
 	}
-	subAbove := func(p int, n int32) int32 {
-		var t int32
-		for q := flats[p].Parents[n]; q != -1; q = flats[p].Parents[q] {
-			t += sub[p][q]
-		}
-		return t
-	}
-	currentBound := func(p int, n int32) int32 { return F[p][n] - subAbove(p, n) }
 
 	covered := bitset.New(len(s.rel))
 	inAnswer := make([]bool, len(s.rel))
@@ -270,56 +284,159 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 		}
 	}
 
+	// collect runs the read-only half of one candidate's verification: g's
+	// shared-VP coordinates scanned against every shard's vantage ordering.
+	// It touches no stats and no metric state, so any number of collects may
+	// run concurrently during a pick (covered and inAnswer are frozen between
+	// picks — credits apply only after a pick completes).
+	collect := func(g graph.ID) [][]graph.ID {
+		coords := parts[s.set.PartFor(g)].VO().Coords(g)
+		lists := make([][]graph.ID, len(parts))
+		for p, part := range parts {
+			lists[p] = part.VO().CandidatesCoords(coords, theta, includeUncovered)
+		}
+		return lists
+	}
 	for len(res.Answer) < k {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		best, bestGain := graph.ID(-1), int32(0)
-		var bestNbrs []int // relevant positions newly covered by best
-		pq := &coordHeap{}
-		for p := range parts {
-			if b := currentBound(p, 0); b > 0 {
-				pq.push(coordEntry{bound: b, part: p, node: 0})
-			}
-		}
-		for len(*pq) > 0 {
-			e := pq.pop()
-			st.PQPops++
-			if st.PQPops&255 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			// Bounds equal to the best gain are still explored so that ties
-			// resolve toward the lowest graph ID, matching the unsharded
-			// search and the baseline greedy.
-			if e.bound < bestGain {
-				break
-			}
-			// Lazy re-evaluation: credits may have shrunk the bound since
-			// insertion.
-			if cur := currentBound(e.part, e.node); cur < e.bound {
-				if cur >= bestGain && cur > 0 {
-					pq.push(coordEntry{bound: cur, part: e.part, node: e.node})
-				}
-				continue
-			}
-			f := flats[e.part]
-			if f.Leaf(e.node) {
-				cent := f.Centroids[e.node]
-				pos := s.relPos[cent]
-				if pos < 0 || inAnswer[pos] {
+		// Advance every shard's frontier on the worker pool: a DFS over the
+		// shard's positive-bound subtree collects its candidate leaves, with
+		// the ancestor credit subtractions accumulated on the way down (no
+		// per-node ancestor walks). Bounds are frozen during a pick — credits
+		// apply only after it completes — so each shard's frontier is
+		// independent of the others and of the worker count; only wall time
+		// changes. The traversal visit counts land in PQPops, the coordinator's
+		// frontier-work measure.
+		perShard := make([][]frontierCand, len(parts))
+		visits := make([]int, len(parts))
+		if err := pool.Ranges(ctx, len(parts), s.set.workers, 1, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				f := flats[p]
+				if F[p][0] <= 0 {
 					continue
 				}
-				gain, nbrs := s.verify(cent, theta, includeUncovered, &st)
-				if gain > bestGain || (gain == bestGain && gain > 0 && cent < best) {
-					best, bestGain, bestNbrs = cent, gain, nbrs
+				stack := []frontierFrame{{node: 0, acc: 0}}
+				for len(stack) > 0 {
+					fr := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					visits[p]++
+					if f.Leaf(fr.node) {
+						perShard[p] = append(perShard[p], frontierCand{
+							bound: F[p][fr.node] - fr.acc,
+							node:  fr.node,
+							cent:  f.Centroids[fr.node],
+						})
+						continue
+					}
+					acc := fr.acc + sub[p][fr.node]
+					for c := f.FirstChild[fr.node]; c != -1; c = f.NextSibling[c] {
+						if F[p][c]-acc > 0 {
+							stack = append(stack, frontierFrame{node: c, acc: acc})
+						}
+					}
 				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+		// Merge serially into one list ordered by (bound desc, shard, node) —
+		// the same total order the coordinator heap used to pop leaves in.
+		var list []frontierCand
+		for p, cs := range perShard {
+			st.PQPops += visits[p]
+			for _, c := range cs {
+				c.part = int32(p)
+				list = append(list, c)
+			}
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].bound != list[j].bound {
+				return list[i].bound > list[j].bound
+			}
+			if list[i].part != list[j].part {
+				return list[i].part < list[j].part
+			}
+			return list[i].node < list[j].node
+		})
+
+		best, bestGain := graph.ID(-1), int32(0)
+		var bestNbrs []int // relevant positions newly covered by best
+		// Walk the merged frontier in bound order. Candidates whose bound
+		// reaches the best verified gain are verified exactly; bounds equal to
+		// the best gain are still explored so that ties resolve toward the
+		// lowest graph ID, matching the unsharded search and the baseline
+		// greedy. After the first verification pins a gain, the remaining
+		// still-qualifying candidates' scans are prefetched in one parallel
+		// scatter — the scans are pure reads (see collect), while the
+		// threshold tests below stay serial in list order: metric.Decide's
+		// pruned-vs-exact outcome depends on the distance cache's evolving
+		// state, so a fixed decision order keeps QueryStats identical for any
+		// worker count.
+		collected := make([][][]graph.ID, len(list))
+		prefetched := false
+		for i, c := range list {
+			if c.bound < bestGain {
+				break
+			}
+			pos := s.relPos[c.cent]
+			if pos < 0 || inAnswer[pos] {
 				continue
 			}
-			for c := f.FirstChild[e.node]; c != -1; c = f.NextSibling[c] {
-				if b := currentBound(e.part, c); b > 0 && b >= bestGain {
-					pq.push(coordEntry{bound: b, part: e.part, node: c})
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if collected[i] == nil {
+				collected[i] = collect(c.cent)
+			}
+			st.VerifiedLeaves++
+			var nbrs []int
+			for _, ids := range collected[i] {
+				for _, id := range ids {
+					st.CandidateScans++
+					if id != c.cent {
+						leq, pruned := metric.Decide(s.set.m, c.cent, id, theta)
+						if pruned {
+							st.PrunedDistances++
+						} else {
+							st.ExactDistances++
+						}
+						if !leq {
+							continue
+						}
+					}
+					nbrs = append(nbrs, s.relPos[id])
+				}
+			}
+			gain := int32(len(nbrs))
+			if gain > bestGain || (gain == bestGain && gain > 0 && c.cent < best) {
+				best, bestGain, bestNbrs = c.cent, gain, nbrs
+			}
+			// Prefetch is speculative: candidates the rising best gain later
+			// disqualifies have their scans wasted. With parallel workers the
+			// waste is hidden wall-clock (the scans overlap); on one worker it
+			// is pure extra serial work, so collect on demand instead. Either
+			// way CandidateScans counts only consumed lists, so QueryStats are
+			// identical for any worker count.
+			if !prefetched && pool.Resolve(s.set.workers) > 1 {
+				prefetched = true
+				var todo []int
+				for j := i + 1; j < len(list); j++ {
+					if list[j].bound < bestGain {
+						break
+					}
+					if p := s.relPos[list[j].cent]; p < 0 || inAnswer[p] {
+						continue
+					}
+					todo = append(todo, j)
+				}
+				if err := pool.Ranges(ctx, len(todo), s.set.workers, 1, func(lo, hi int) {
+					for t := lo; t < hi; t++ {
+						collected[todo[t]] = collect(list[todo[t]].cent)
+					}
+				}); err != nil {
+					return nil, err
 				}
 			}
 		}
@@ -338,37 +455,6 @@ func (s *coordSession) TopKContext(ctx context.Context, theta float64, k int) (*
 	res.Power = float64(res.Covered) / float64(res.Relevant)
 	finish()
 	return res, nil
-}
-
-// verify computes the exact marginal gain of graph g at threshold theta by
-// scatter-gathering: every shard is scanned with g's shared-VP coordinates
-// for candidates among its own uncovered relevant graphs, then threshold
-// tests (metric.Decide — the bounded kernel when the metric supports it)
-// settle each. The union of shard candidate sets equals the unsharded
-// candidate set, so the gain — and the per-verify work counters — match the
-// unsharded engine exactly.
-func (s *coordSession) verify(g graph.ID, theta float64, include func(graph.ID) bool, st *nbindex.QueryStats) (int32, []int) {
-	st.VerifiedLeaves++
-	coords := s.set.parts[s.set.PartFor(g)].VO().Coords(g)
-	var nbrs []int
-	for _, part := range s.set.parts {
-		for _, id := range part.VO().CandidatesCoords(coords, theta, include) {
-			st.CandidateScans++
-			if id != g {
-				leq, pruned := metric.Decide(s.set.m, g, id, theta)
-				if pruned {
-					st.PrunedDistances++
-				} else {
-					st.ExactDistances++
-				}
-				if !leq {
-					continue
-				}
-			}
-			nbrs = append(nbrs, s.relPos[id])
-		}
-	}
-	return int32(len(nbrs)), nbrs
 }
 
 // SweepTheta answers the query at every indexed threshold (plus extras). See
@@ -412,67 +498,22 @@ func (s *coordSession) SweepThetaContext(ctx context.Context, k int, extra ...fl
 	return points, nil
 }
 
-// coordEntry is a PQ element: one shard tree's node (flat index) with its
-// gain upper bound.
-type coordEntry struct {
+// frontierFrame is one DFS frame of a shard's frontier advance: a tree node
+// (flat index) with the credit subtractions accumulated from its ancestors,
+// so the node's current bound is F[node] − acc without an ancestor walk.
+type frontierFrame struct {
+	node int32
+	acc  int32
+}
+
+// frontierCand is one candidate leaf a shard's frontier produced: its current
+// gain upper bound and identity. The coordinator merges the per-shard lists
+// by (bound desc, part, node) — the same total order the best-first pop
+// sequence follows — so the serial verification walk is deterministic for
+// any worker count.
+type frontierCand struct {
 	bound int32
-	part  int
+	part  int32
 	node  int32
-}
-
-// coordHeap is a typed max-heap on bound; ties order by (shard, node index)
-// so the search trace is deterministic for any worker count. Entries are
-// stored by value — no container/heap, no interface boxing, no per-push
-// allocation. (bound, part, node) keys are unique at any instant (a node is
-// re-pushed only after its stale entry is popped), so the pop order is a
-// strict total order independent of the heap implementation.
-type coordHeap []coordEntry
-
-func (h coordHeap) less(i, j int) bool {
-	if h[i].bound != h[j].bound {
-		return h[i].bound > h[j].bound
-	}
-	if h[i].part != h[j].part {
-		return h[i].part < h[j].part
-	}
-	return h[i].node < h[j].node
-}
-
-// push inserts e and sifts it up.
-func (h *coordHeap) push(e coordEntry) {
-	*h = append(*h, e)
-	a := *h
-	for i := len(a) - 1; i > 0; {
-		p := (i - 1) / 2
-		if !a.less(i, p) {
-			break
-		}
-		a[i], a[p] = a[p], a[i]
-		i = p
-	}
-}
-
-// pop removes and returns the top entry.
-func (h *coordHeap) pop() coordEntry {
-	a := *h
-	top := a[0]
-	n := len(a) - 1
-	a[0] = a[n]
-	a = a[:n]
-	*h = a
-	for i := 0; ; {
-		c := 2*i + 1
-		if c >= n {
-			break
-		}
-		if r := c + 1; r < n && a.less(r, c) {
-			c = r
-		}
-		if !a.less(c, i) {
-			break
-		}
-		a[i], a[c] = a[c], a[i]
-		i = c
-	}
-	return top
+	cent  graph.ID
 }

@@ -256,5 +256,10 @@ func (s *Set) PartFor(id graph.ID) int {
 // per-shard locks. Not safe concurrently with queries touching the last
 // shard.
 func (s *Set) Insert(id graph.ID) error {
+	// Inserting computes distances against mapped graph content; settle the
+	// store's deferred validation first (cached after the first call).
+	if err := s.db.EnsureValid(); err != nil {
+		return fmt.Errorf("shard: graph store: %w", err)
+	}
 	return s.parts[len(s.parts)-1].Insert(id)
 }

@@ -379,3 +379,134 @@ func TestOpenWithIndexContextCancel(t *testing.T) {
 		t.Fatalf("cancelled OpenWithIndexContext returned %v, want context.Canceled", err)
 	}
 }
+
+// TestGraphStoreEquality is the mapped-corpus acceptance contract: the same
+// dataset served from the heap (text-loaded) and from a GRDB001 container
+// (memory-mapped) must produce byte-identical answers, sweep curves,
+// QueryStats, and persisted index bytes — at every shard count and worker
+// count. The storage layer may only change where the bytes live, never what
+// any query computes. The mapped engines at a given shard count all share ONE
+// mapped database, so running this test under -race also checks that
+// concurrent sessions over a single shared mapping are safe.
+func TestGraphStoreEquality(t *testing.T) {
+	heap, err := graphrep.GenerateDataset("dud", 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.grdb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphrep.SaveDatabase(f, heap); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graphrep.OpenDatabaseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !mapped.Mapped() {
+		t.Log("corpus opened without a mapping (heap-copy fallback); equality checks still apply")
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			type run struct {
+				store   string
+				db      *graphrep.Database
+				answers []answer
+				stats   []graphrep.QueryStats
+				points  []graphrep.ThetaPoint
+				blob    []byte
+			}
+			runs := []run{{store: "heap", db: heap}, {store: "mapped", db: mapped}}
+			for i := range runs {
+				engine, err := graphrep.Open(runs[i].db, graphrep.Options{Seed: 5, Shards: shards, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := engine.SaveIndex(&buf); err != nil {
+					t.Fatal(err)
+				}
+				runs[i].answers, runs[i].stats, runs[i].points = collectAnswers(t, engine, 5)
+				runs[i].blob = buf.Bytes()
+			}
+			h, m := runs[0], runs[1]
+			if !bytes.Equal(m.blob, h.blob) {
+				t.Errorf("shards=%d workers=%d: index bytes differ heap vs mapped", shards, workers)
+			}
+			if !reflect.DeepEqual(m.answers, h.answers) {
+				t.Errorf("shards=%d workers=%d: answers differ heap vs mapped:\n heap %+v\nmapped %+v",
+					shards, workers, h.answers, m.answers)
+			}
+			if !reflect.DeepEqual(m.stats, h.stats) {
+				t.Errorf("shards=%d workers=%d: query stats differ heap vs mapped:\n heap %+v\nmapped %+v",
+					shards, workers, h.stats, m.stats)
+			}
+			if !reflect.DeepEqual(m.points, h.points) {
+				t.Errorf("shards=%d workers=%d: sweep curves differ heap vs mapped", shards, workers)
+			}
+		}
+	}
+}
+
+// TestGraphStoreExactAndPolished covers the engine paths that bypass session
+// creation (and therefore carry their own deferred-validation trigger): exact
+// and polished answers over a mapped corpus must equal the heap answers.
+func TestGraphStoreExactAndPolished(t *testing.T) {
+	heap, err := graphrep.GenerateDataset("dud", 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.grdb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphrep.SaveDatabase(f, heap); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graphrep.OpenDatabaseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	he, err := graphrep.Open(heap, graphrep.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := graphrep.Open(mapped, graphrep.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := graphrep.Query{Theta: 6, K: 4, Relevance: graphrep.FirstQuartileRelevance(heap, nil)}
+	wantExact, err := he.TopKRepresentativeExact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotExact, err := me.TopKRepresentativeExact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotExact, wantExact) {
+		t.Errorf("exact answers differ heap vs mapped:\n heap %+v\nmapped %+v", wantExact, gotExact)
+	}
+	wantPol, err := he.TopKRepresentativePolished(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPol, err := me.TopKRepresentativePolished(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPol, wantPol) {
+		t.Errorf("polished answers differ heap vs mapped:\n heap %+v\nmapped %+v", wantPol, gotPol)
+	}
+}
